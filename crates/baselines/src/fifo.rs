@@ -1,0 +1,98 @@
+//! First-In-First-Out replacement, bundle-adapted: the victim is the file
+//! that has been resident the longest, regardless of use.
+
+use fbc_core::bundle::Bundle;
+use fbc_core::cache::CacheState;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::types::FileId;
+use std::collections::HashMap;
+
+use crate::util::choose_victim_min_by;
+
+/// FIFO replacement policy.
+#[derive(Debug, Clone, Default)]
+pub struct Fifo {
+    clock: u64,
+    admitted_at: HashMap<FileId, u64>,
+}
+
+impl Fifo {
+    /// Creates an empty FIFO policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CachePolicy for Fifo {
+    fn name(&self) -> &str {
+        "FIFO"
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        self.clock += 1;
+        let admitted_at = &self.admitted_at;
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            choose_victim_min_by(cache, bundle, |f, _| {
+                admitted_at.get(&f).copied().unwrap_or(0)
+            })
+        });
+        for f in &outcome.evicted_files {
+            self.admitted_at.remove(f);
+        }
+        // Only *newly fetched* files get an admission stamp; hits on
+        // resident files do not renew their lease (that's what makes it
+        // FIFO rather than LRU).
+        for f in &outcome.fetched_files {
+            self.admitted_at.insert(*f, self.clock);
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.clock = 0;
+        self.admitted_at.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(ids: &[u32]) -> Bundle {
+        Bundle::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn evicts_oldest_admission() {
+        let catalog = FileCatalog::from_sizes(vec![1; 4]);
+        let mut cache = CacheState::new(2);
+        let mut fifo = Fifo::new();
+        fifo.handle(&b(&[0]), &mut cache, &catalog);
+        fifo.handle(&b(&[1]), &mut cache, &catalog);
+        fifo.handle(&b(&[0]), &mut cache, &catalog); // hit: no lease renewal
+        let out = fifo.handle(&b(&[2]), &mut cache, &catalog);
+        // f0 is oldest despite its recent hit.
+        assert_eq!(out.evicted_files, vec![FileId(0)]);
+    }
+
+    #[test]
+    fn refetched_file_gets_new_lease() {
+        let catalog = FileCatalog::from_sizes(vec![1; 3]);
+        let mut cache = CacheState::new(2);
+        let mut fifo = Fifo::new();
+        fifo.handle(&b(&[0]), &mut cache, &catalog);
+        fifo.handle(&b(&[1]), &mut cache, &catalog);
+        fifo.handle(&b(&[2]), &mut cache, &catalog); // evicts f0
+        fifo.handle(&b(&[0]), &mut cache, &catalog); // evicts f1, readmits f0
+        let out = fifo.handle(&b(&[1]), &mut cache, &catalog);
+        // Oldest now is f2 (admitted at tick 3), not the readmitted f0.
+        assert_eq!(out.evicted_files, vec![FileId(2)]);
+        assert!(cache.contains(FileId(0)));
+    }
+}

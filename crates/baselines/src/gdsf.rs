@@ -1,0 +1,205 @@
+//! Greedy-Dual-Size-Frequency (GDSF) replacement, bundle-adapted.
+//!
+//! GDSF ranks each resident file by `H(f) = L + freq(f) · cost(f) / size(f)`
+//! where `L` is an inflation value updated to the `H` of the last victim.
+//! With `cost(f) = size(f)` (cost proportional to bytes re-fetched, the
+//! natural model for a data-grid), `H(f) = L + freq(f)` — frequency with
+//! aging. GDSF is the strongest of the classic web-caching heuristics and a
+//! natural additional comparator beyond the paper's Landlord.
+
+use fbc_core::bundle::Bundle;
+use fbc_core::cache::CacheState;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::types::FileId;
+use std::collections::HashMap;
+
+use crate::util::choose_victim_min_by;
+
+/// How GDSF computes per-file cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GdsfCost {
+    /// `cost(f) = size(f)` — H reduces to `L + freq` (byte-miss oriented).
+    #[default]
+    SizeProportional,
+    /// `cost(f) = 1` — H = `L + freq/size` (favours small files).
+    Uniform,
+}
+
+/// The GDSF policy.
+#[derive(Debug, Clone, Default)]
+pub struct Gdsf {
+    cost: GdsfCost,
+    freq: HashMap<FileId, u64>,
+    h: HashMap<FileId, f64>,
+    /// Inflation value L.
+    l: f64,
+}
+
+impl Gdsf {
+    /// GDSF with size-proportional cost.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// GDSF with an explicit cost model.
+    pub fn with_cost(cost: GdsfCost) -> Self {
+        Self {
+            cost,
+            ..Self::default()
+        }
+    }
+
+    /// Current inflation value `L` (diagnostics).
+    pub fn inflation(&self) -> f64 {
+        self.l
+    }
+
+    fn h_value(&self, f: FileId, size: u64) -> f64 {
+        let freq = self.freq.get(&f).copied().unwrap_or(0) as f64;
+        match self.cost {
+            GdsfCost::SizeProportional => self.l + freq,
+            GdsfCost::Uniform => self.l + freq / size.max(1) as f64,
+        }
+    }
+}
+
+impl CachePolicy for Gdsf {
+    fn name(&self) -> &str {
+        match self.cost {
+            GdsfCost::SizeProportional => "GDSF",
+            GdsfCost::Uniform => "GDSF(uniform-cost)",
+        }
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        // Update frequencies and H-values of the bundle's files up front;
+        // inflation L is read from the victims as they are chosen.
+        let mut evicted_h: Vec<f64> = Vec::new();
+        let outcome = {
+            let this: &Gdsf = &*self;
+            let evicted_h = &mut evicted_h;
+            service_with_evictor(bundle, cache, catalog, move |cache| {
+                let victim = choose_victim_min_by(cache, bundle, |f, size| {
+                    this.h
+                        .get(&f)
+                        .copied()
+                        .unwrap_or_else(|| this.h_value(f, size))
+                });
+                if let Some(f) = victim {
+                    let size = cache
+                        .iter()
+                        .find(|&(g, _)| g == f)
+                        .map(|(_, s)| s)
+                        .unwrap_or(1);
+                    evicted_h.push(
+                        this.h
+                            .get(&f)
+                            .copied()
+                            .unwrap_or_else(|| this.h_value(f, size)),
+                    );
+                }
+                victim
+            })
+        };
+
+        if let Some(max_h) = evicted_h
+            .iter()
+            .copied()
+            .fold(None::<f64>, |acc, h| Some(acc.map_or(h, |a| a.max(h))))
+        {
+            // L rises to the largest H evicted in this round.
+            self.l = self.l.max(max_h);
+        }
+        for f in &outcome.evicted_files {
+            self.freq.remove(f);
+            self.h.remove(f);
+        }
+        if outcome.serviced {
+            for f in bundle.iter() {
+                *self.freq.entry(f).or_insert(0) += 1;
+                let h = self.h_value(f, catalog.size(f));
+                self.h.insert(f, h);
+            }
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.freq.clear();
+        self.h.clear();
+        self.l = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(ids: &[u32]) -> Bundle {
+        Bundle::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn evicts_lowest_h_value() {
+        let catalog = FileCatalog::from_sizes(vec![1; 4]);
+        let mut cache = CacheState::new(2);
+        let mut g = Gdsf::new();
+        g.handle(&b(&[0]), &mut cache, &catalog);
+        g.handle(&b(&[0]), &mut cache, &catalog); // f0 freq 2
+        g.handle(&b(&[1]), &mut cache, &catalog); // f1 freq 1
+        let out = g.handle(&b(&[2]), &mut cache, &catalog);
+        assert_eq!(out.evicted_files, vec![FileId(1)]);
+    }
+
+    #[test]
+    fn inflation_rises_monotonically() {
+        let catalog = FileCatalog::from_sizes(vec![1; 10]);
+        let mut cache = CacheState::new(2);
+        let mut g = Gdsf::new();
+        let mut prev_l = 0.0;
+        for i in 0..10u32 {
+            g.handle(&b(&[i]), &mut cache, &catalog);
+            assert!(g.inflation() >= prev_l);
+            prev_l = g.inflation();
+        }
+        // After enough distinct insertions, evictions must have raised L.
+        assert!(prev_l > 0.0);
+    }
+
+    #[test]
+    fn aging_lets_new_files_displace_stale_popular_ones() {
+        let catalog = FileCatalog::from_sizes(vec![1; 20]);
+        let mut cache = CacheState::new(2);
+        let mut g = Gdsf::new();
+        // Make f0 very popular early.
+        for _ in 0..5 {
+            g.handle(&b(&[0]), &mut cache, &catalog);
+        }
+        // A long run of distinct files inflates L past f0's H.
+        for i in 1..15u32 {
+            g.handle(&b(&[i]), &mut cache, &catalog);
+        }
+        // f0 must eventually have been evicted despite its high frequency.
+        assert!(!cache.contains(FileId(0)));
+    }
+
+    #[test]
+    fn uniform_cost_prefers_keeping_small_files() {
+        let catalog = FileCatalog::from_sizes(vec![10, 1, 10]);
+        let mut cache = CacheState::new(11);
+        let mut g = Gdsf::with_cost(GdsfCost::Uniform);
+        g.handle(&b(&[0]), &mut cache, &catalog); // H = 1/10
+        g.handle(&b(&[1]), &mut cache, &catalog); // H = 1/1
+                                                  // Request f2 (10 bytes): evicting f0 alone frees enough; f0 has the
+                                                  // lower H.
+        let out = g.handle(&b(&[2]), &mut cache, &catalog);
+        assert_eq!(out.evicted_files, vec![FileId(0)]);
+        assert!(cache.contains(FileId(1)));
+    }
+}

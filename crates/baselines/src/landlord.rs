@@ -1,0 +1,353 @@
+//! The Landlord cache-replacement algorithm (Young 1998; Cao & Irani 1997),
+//! adapted to file-bundle requests exactly as the paper's Algorithm 3.
+//!
+//! Landlord maintains a *credit* for every resident file. When space is
+//! needed, every file's credit is decreased by the minimum (per the chosen
+//! cost model) and zero-credit files are evicted; whenever a file is
+//! referenced its credit is refreshed. The paper instantiates Landlord with
+//! credits in `[0, 1]` and an unscaled decrement ([`CostModel::Uniform`]);
+//! the classic greedy-dual-size instantiation ([`CostModel::SizeAware`])
+//! charges rent proportionally to file size and is provided for comparison.
+
+use fbc_core::bundle::Bundle;
+use fbc_core::cache::CacheState;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::types::FileId;
+use std::collections::HashMap;
+
+/// How credits are assigned and rent is charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostModel {
+    /// Paper Algorithm 3: every file has credit in `[0, 1]`; a decrement
+    /// round subtracts the minimum credit from every file regardless of
+    /// size. Retrieval cost is treated as uniform per file.
+    #[default]
+    Uniform,
+    /// Classic Landlord / greedy-dual-size: a file's credit starts at its
+    /// size (cost of re-fetching it) and a decrement round subtracts
+    /// `δ · size(f)` where `δ = min credit(f)/size(f)` — i.e. files are
+    /// ranked by credit per byte.
+    SizeAware,
+}
+
+/// The Landlord policy, bundle-adapted (paper Algorithm 3).
+#[derive(Debug, Clone)]
+pub struct Landlord {
+    cost_model: CostModel,
+    /// On a reference, a file's credit is raised to
+    /// `credit + refresh_fraction · (cost − credit)`. Young's analysis
+    /// allows any value in `[0, 1]`; 1.0 (reset to full cost) is the
+    /// classic choice and the paper's.
+    refresh_fraction: f64,
+    credits: HashMap<FileId, f64>,
+    name: String,
+}
+
+impl Landlord {
+    /// Landlord with the paper's uniform cost model (full refresh).
+    pub fn new() -> Self {
+        Self::with_cost_model(CostModel::Uniform)
+    }
+
+    /// Landlord with an explicit cost model (full refresh).
+    pub fn with_cost_model(cost_model: CostModel) -> Self {
+        Self::with_refresh(cost_model, 1.0)
+    }
+
+    /// Landlord with an explicit cost model and refresh fraction in
+    /// `[0, 1]` (0 = never refresh ≈ FIFO flavour, 1 = classic reset to
+    /// full cost ≈ LRU flavour; Young's competitive analysis covers the
+    /// whole range).
+    pub fn with_refresh(cost_model: CostModel, refresh_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&refresh_fraction),
+            "refresh fraction must be in [0, 1], got {refresh_fraction}"
+        );
+        let base = match cost_model {
+            CostModel::Uniform => "Landlord",
+            CostModel::SizeAware => "Landlord(size-aware)",
+        };
+        let name = if (refresh_fraction - 1.0).abs() < f64::EPSILON {
+            base.to_string()
+        } else {
+            format!("{base}(refresh={refresh_fraction:.2})")
+        };
+        Self {
+            cost_model,
+            refresh_fraction,
+            credits: HashMap::new(),
+            name,
+        }
+    }
+
+    /// Current credit of a file (for tests/diagnostics).
+    pub fn credit(&self, file: FileId) -> Option<f64> {
+        self.credits.get(&file).copied()
+    }
+
+    fn initial_credit(cost_model: CostModel, size: u64) -> f64 {
+        match cost_model {
+            CostModel::Uniform => 1.0,
+            CostModel::SizeAware => size as f64,
+        }
+    }
+}
+
+impl Default for Landlord {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CachePolicy for Landlord {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        let cost_model = self.cost_model;
+        let credits = &mut self.credits;
+
+        // The eviction closure implements Algorithm 3 Step 3: repeatedly
+        // find the minimum credit among evictable files not in F(r_new),
+        // charge that rent to everyone, and surrender a zero-credit file.
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            // Candidates: resident, unpinned, not part of the incoming bundle.
+            let mut candidates: Vec<(FileId, u64)> = cache
+                .iter()
+                .filter(|&(f, _)| !bundle.contains(f) && !cache.is_pinned(f))
+                .collect();
+            if candidates.is_empty() {
+                return None;
+            }
+            // Deterministic processing order.
+            candidates.sort_unstable_by_key(|&(f, _)| f);
+
+            let rent = |f: FileId, size: u64| {
+                let c = credits.get(&f).copied().unwrap_or(0.0);
+                match cost_model {
+                    CostModel::Uniform => c,
+                    CostModel::SizeAware => c / size.max(1) as f64,
+                }
+            };
+
+            // Look for an already-broke tenant before charging more rent.
+            if let Some(&(f, _)) = candidates
+                .iter()
+                .find(|&&(f, s)| rent(f, s) <= f64::EPSILON)
+            {
+                credits.remove(&f);
+                return Some(f);
+            }
+
+            let delta = candidates
+                .iter()
+                .map(|&(f, s)| rent(f, s))
+                .fold(f64::INFINITY, f64::min);
+            let mut victim = None;
+            for &(f, size) in &candidates {
+                let charge = match cost_model {
+                    CostModel::Uniform => delta,
+                    CostModel::SizeAware => delta * size.max(1) as f64,
+                };
+                let c = credits.entry(f).or_insert(0.0);
+                *c = (*c - charge).max(0.0);
+                if *c <= f64::EPSILON && victim.is_none() {
+                    victim = Some(f);
+                }
+            }
+            if let Some(f) = victim {
+                credits.remove(&f);
+            }
+            victim
+        });
+
+        // Step 4: refresh the credit of every file of the serviced bundle
+        // (newly fetched and already-resident alike). Newly fetched files
+        // always start at full cost; already-resident files move toward it
+        // by the configured refresh fraction.
+        if outcome.serviced {
+            for f in bundle.iter() {
+                let full = Self::initial_credit(self.cost_model, catalog.size(f));
+                let new_credit = if outcome.fetched_files.contains(&f) {
+                    full
+                } else {
+                    let current = self.credits.get(&f).copied().unwrap_or(0.0);
+                    current + self.refresh_fraction * (full - current)
+                };
+                self.credits.insert(f, new_credit);
+            }
+        }
+        // Drop credit entries of files evicted by the run (already removed
+        // inside the closure, but eviction can also bypass it on errors).
+        for f in &outcome.evicted_files {
+            self.credits.remove(f);
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.credits.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(ids: &[u32]) -> Bundle {
+        Bundle::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn cold_fetch_assigns_full_credit() {
+        let catalog = FileCatalog::from_sizes(vec![5, 5]);
+        let mut cache = CacheState::new(10);
+        let mut ll = Landlord::new();
+        let out = ll.handle(&b(&[0, 1]), &mut cache, &catalog);
+        assert!(out.serviced);
+        assert_eq!(ll.credit(FileId(0)), Some(1.0));
+        assert_eq!(ll.credit(FileId(1)), Some(1.0));
+    }
+
+    #[test]
+    fn eviction_charges_rent_and_removes_broke_files() {
+        let catalog = FileCatalog::from_sizes(vec![5, 5, 5]);
+        let mut cache = CacheState::new(10);
+        let mut ll = Landlord::new();
+        ll.handle(&b(&[0]), &mut cache, &catalog);
+        ll.handle(&b(&[1]), &mut cache, &catalog);
+        // Cache full {0,1}. Request {2} forces one eviction; both have
+        // credit 1, the minimum is charged, both drop to 0, and the lowest
+        // id (f0) is evicted.
+        let out = ll.handle(&b(&[2]), &mut cache, &catalog);
+        assert!(out.serviced);
+        assert_eq!(out.evicted_files, vec![FileId(0)]);
+        assert!(cache.contains(FileId(1)));
+        // f1 survives with zero credit; next eviction takes it for free.
+        let out = ll.handle(&b(&[0]), &mut cache, &catalog);
+        assert_eq!(out.evicted_files, vec![FileId(1)]);
+    }
+
+    #[test]
+    fn reference_refreshes_credit() {
+        let catalog = FileCatalog::from_sizes(vec![5, 5, 5]);
+        let mut cache = CacheState::new(10);
+        let mut ll = Landlord::new();
+        ll.handle(&b(&[0]), &mut cache, &catalog);
+        ll.handle(&b(&[1]), &mut cache, &catalog);
+        ll.handle(&b(&[2]), &mut cache, &catalog); // evicts f0, f1 at credit 0
+        ll.handle(&b(&[1]), &mut cache, &catalog); // hit: refresh f1 to 1.0
+        assert_eq!(ll.credit(FileId(1)), Some(1.0));
+        // Now f2 (still credit 1.0 too) — request {0} evicts the lowest id
+        // among ties after a rent round.
+        let out = ll.handle(&b(&[0]), &mut cache, &catalog);
+        assert_eq!(out.evicted_files.len(), 1);
+    }
+
+    #[test]
+    fn size_aware_model_prefers_evicting_large_cold_files() {
+        let catalog = FileCatalog::from_sizes(vec![8, 2, 2]);
+        let mut cache = CacheState::new(10);
+        let mut ll = Landlord::with_cost_model(CostModel::SizeAware);
+        ll.handle(&b(&[0]), &mut cache, &catalog); // credit 8 (rent 1/byte)
+        ll.handle(&b(&[1]), &mut cache, &catalog); // credit 2
+                                                   // Request {2}: needs 2 bytes. Rent per byte equal (1.0) for both;
+                                                   // both zero out after one round; lowest id (f0) goes.
+        let out = ll.handle(&b(&[2]), &mut cache, &catalog);
+        assert_eq!(out.evicted_files, vec![FileId(0)]);
+        assert!(cache.contains(FileId(1)));
+    }
+
+    #[test]
+    fn credits_stay_in_unit_interval_under_uniform_model() {
+        let catalog = FileCatalog::from_sizes(vec![1; 20]);
+        let mut cache = CacheState::new(5);
+        let mut ll = Landlord::new();
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let k = (next() % 3 + 1) as usize;
+            let files: Vec<u32> = (0..k).map(|_| (next() % 20) as u32).collect();
+            ll.handle(&Bundle::from_raw(files), &mut cache, &catalog);
+            for (f, _) in cache.iter() {
+                if let Some(c) = ll.credit(f) {
+                    assert!((0.0..=1.0).contains(&c), "credit {c} out of range");
+                }
+            }
+            assert!(cache.check_invariants());
+        }
+    }
+
+    #[test]
+    fn bundle_files_are_never_victims() {
+        let catalog = FileCatalog::from_sizes(vec![4, 4, 4]);
+        let mut cache = CacheState::new(8);
+        let mut ll = Landlord::new();
+        ll.handle(&b(&[0]), &mut cache, &catalog);
+        ll.handle(&b(&[1]), &mut cache, &catalog);
+        // {1,2} keeps f1 (part of the bundle) and evicts f0.
+        let out = ll.handle(&b(&[1, 2]), &mut cache, &catalog);
+        assert!(out.serviced);
+        assert_eq!(out.evicted_files, vec![FileId(0)]);
+        assert!(cache.contains(FileId(1)) && cache.contains(FileId(2)));
+    }
+
+    #[test]
+    fn partial_refresh_moves_credit_toward_cost() {
+        let catalog = FileCatalog::from_sizes(vec![5, 5, 5]);
+        let mut cache = CacheState::new(10);
+        let mut ll = Landlord::with_refresh(CostModel::Uniform, 0.5);
+        assert_eq!(ll.name(), "Landlord(refresh=0.50)");
+        ll.handle(&b(&[0]), &mut cache, &catalog); // fetched: full credit 1.0
+        ll.handle(&b(&[1]), &mut cache, &catalog);
+        ll.handle(&b(&[2]), &mut cache, &catalog); // rent round zeroes both, evicts f0
+                                                   // f1 survived at credit 0; a hit refreshes halfway to cost.
+        ll.handle(&b(&[1]), &mut cache, &catalog);
+        assert!((ll.credit(FileId(1)).unwrap() - 0.5).abs() < 1e-12);
+        // A second hit: 0.5 + 0.5·(1−0.5) = 0.75.
+        ll.handle(&b(&[1]), &mut cache, &catalog);
+        assert!((ll.credit(FileId(1)).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_refresh_never_renews_resident_credit() {
+        let catalog = FileCatalog::from_sizes(vec![1; 4]);
+        let mut cache = CacheState::new(2);
+        let mut ll = Landlord::with_refresh(CostModel::Uniform, 0.0);
+        ll.handle(&b(&[0]), &mut cache, &catalog);
+        ll.handle(&b(&[1]), &mut cache, &catalog);
+        ll.handle(&b(&[0]), &mut cache, &catalog); // hit: no renewal
+                                                   // Rent round: both at 1.0, f0 (lowest id) evicted despite its hit —
+                                                   // zero refresh degenerates to FIFO-like behaviour.
+        let out = ll.handle(&b(&[2]), &mut cache, &catalog);
+        assert_eq!(out.evicted_files, vec![FileId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh fraction")]
+    fn bad_refresh_fraction_rejected() {
+        let _ = Landlord::with_refresh(CostModel::Uniform, 1.5);
+    }
+
+    #[test]
+    fn reset_clears_credits() {
+        let catalog = FileCatalog::from_sizes(vec![1]);
+        let mut cache = CacheState::new(1);
+        let mut ll = Landlord::new();
+        ll.handle(&b(&[0]), &mut cache, &catalog);
+        ll.reset();
+        assert_eq!(ll.credit(FileId(0)), None);
+    }
+}

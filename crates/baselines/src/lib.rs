@@ -1,0 +1,176 @@
+//! # fbc-baselines — bundle-adapted classic replacement policies
+//!
+//! The comparators for `OptFileBundle`: the paper's own baseline — the
+//! [Landlord algorithm](landlord::Landlord) of Young / Cao–Irani, adapted to
+//! file-bundle requests exactly as the paper's Algorithm 3 — plus the wider
+//! family of classic policies (LRU, LFU, GDSF, FIFO, SIZE, Random) and a
+//! clairvoyant offline reference ([Belady MIN](belady::BeladyMin)).
+//!
+//! Every policy implements [`fbc_core::policy::CachePolicy`]: it is handed
+//! one bundle at a time, fetches all of the bundle's missing files, and
+//! chooses victims by its own ranking. None of them is aware of *which files
+//! are requested together* — that blindness is the paper's thesis, and the
+//! simulations in `fbc-sim` quantify it.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod arc;
+pub mod belady;
+pub mod fifo;
+pub mod gdsf;
+pub mod landlord;
+pub mod lfu;
+pub mod lru;
+pub mod lruk;
+pub mod random;
+pub mod size;
+pub mod slru;
+mod util;
+
+pub use admission::AdmissionGate;
+pub use arc::Arc;
+pub use belady::BeladyMin;
+pub use fifo::Fifo;
+pub use gdsf::{Gdsf, GdsfCost};
+pub use landlord::{CostModel, Landlord};
+pub use lfu::Lfu;
+pub use lru::Lru;
+pub use lruk::LruK;
+pub use random::RandomEvict;
+pub use size::LargestFirst;
+pub use slru::Slru;
+
+use fbc_core::policy::CachePolicy;
+
+/// Identifier for constructing any policy in the workspace by name — used by
+/// sweep drivers and experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// `OptFileBundle` with its default (paper) configuration.
+    OptFileBundle,
+    /// Landlord, paper Algorithm 3 cost model.
+    Landlord,
+    /// Landlord with the classic size-aware (greedy-dual-size) cost model.
+    LandlordSizeAware,
+    /// Least recently used.
+    Lru,
+    /// LRU-2 (O'Neil et al.).
+    Lru2,
+    /// Adaptive Replacement Cache (Megiddo & Modha).
+    Arc,
+    /// Least frequently used.
+    Lfu,
+    /// Greedy-Dual-Size-Frequency.
+    Gdsf,
+    /// First in, first out.
+    Fifo,
+    /// Uniform random victim (seed 0xF1BC).
+    Random,
+    /// Evict the largest file first.
+    LargestFirst,
+    /// Segmented LRU (probation + protected segments).
+    Slru,
+    /// Offline Belady MIN (requires `prepare(trace)`).
+    BeladyMin,
+}
+
+impl PolicyKind {
+    /// All online policies (excludes the clairvoyant Belady MIN).
+    pub const ONLINE: [PolicyKind; 12] = [
+        PolicyKind::OptFileBundle,
+        PolicyKind::Landlord,
+        PolicyKind::LandlordSizeAware,
+        PolicyKind::Lru,
+        PolicyKind::Lru2,
+        PolicyKind::Arc,
+        PolicyKind::Lfu,
+        PolicyKind::Gdsf,
+        PolicyKind::Fifo,
+        PolicyKind::Random,
+        PolicyKind::LargestFirst,
+        PolicyKind::Slru,
+    ];
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn CachePolicy> {
+        match self {
+            PolicyKind::OptFileBundle => Box::new(fbc_core::optfilebundle::OptFileBundle::new()),
+            PolicyKind::Landlord => Box::new(Landlord::new()),
+            PolicyKind::LandlordSizeAware => {
+                Box::new(Landlord::with_cost_model(CostModel::SizeAware))
+            }
+            PolicyKind::Lru => Box::new(Lru::new()),
+            PolicyKind::Lru2 => Box::new(LruK::lru2()),
+            PolicyKind::Arc => Box::new(Arc::new()),
+            PolicyKind::Lfu => Box::new(Lfu::new()),
+            PolicyKind::Gdsf => Box::new(Gdsf::new()),
+            PolicyKind::Fifo => Box::new(Fifo::new()),
+            PolicyKind::Random => Box::new(RandomEvict::new(0xF1BC)),
+            PolicyKind::LargestFirst => Box::new(LargestFirst::new()),
+            PolicyKind::Slru => Box::new(Slru::new()),
+            PolicyKind::BeladyMin => Box::new(BeladyMin::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbc_core::bundle::Bundle;
+    use fbc_core::cache::CacheState;
+    use fbc_core::catalog::FileCatalog;
+
+    /// Every policy must respect the cache capacity invariant and service
+    /// feasible requests on an arbitrary workload.
+    #[test]
+    fn all_policies_satisfy_basic_contract() {
+        let catalog = FileCatalog::from_sizes((1..=30).map(|i| (i % 5) + 1).collect());
+        let mut state = 0xFEEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let trace: Vec<Bundle> = (0..150)
+            .map(|_| {
+                let k = (next() % 3 + 1) as usize;
+                Bundle::from_raw((0..k).map(|_| (next() % 30) as u32))
+            })
+            .collect();
+
+        let mut kinds = PolicyKind::ONLINE.to_vec();
+        kinds.push(PolicyKind::BeladyMin);
+        for kind in kinds {
+            let mut policy = kind.build();
+            policy.prepare(&trace);
+            let mut cache = CacheState::new(12);
+            for bundle in &trace {
+                let out = policy.handle(bundle, &mut cache, &catalog);
+                assert!(cache.check_invariants(), "{:?} broke invariants", kind);
+                if out.serviced {
+                    assert!(
+                        cache.supports(bundle),
+                        "{:?} claimed service without residency",
+                        kind
+                    );
+                }
+                if out.hit {
+                    assert_eq!(out.fetched_bytes, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<String> = PolicyKind::ONLINE
+            .iter()
+            .map(|k| k.build().name().to_string())
+            .collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), PolicyKind::ONLINE.len());
+    }
+}

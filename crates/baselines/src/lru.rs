@@ -1,0 +1,123 @@
+//! Least-Recently-Used replacement, bundle-adapted.
+//!
+//! Every file of a serviced bundle is "touched"; the victim is the resident
+//! file with the oldest touch. LRU is the canonical popularity baseline the
+//! paper contrasts with (§1.2): it tracks *file* recency and is blind to
+//! which files are needed *together*.
+
+use fbc_core::bundle::Bundle;
+use fbc_core::cache::CacheState;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::types::FileId;
+use std::collections::HashMap;
+
+use crate::util::choose_victim_min_by;
+
+/// LRU replacement policy.
+#[derive(Debug, Clone, Default)]
+pub struct Lru {
+    /// Logical clock, incremented per request.
+    clock: u64,
+    /// Last-touch tick per file.
+    last_used: HashMap<FileId, u64>,
+}
+
+impl Lru {
+    /// Creates an empty LRU policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Last-touch tick of a file (diagnostics).
+    pub fn last_used(&self, file: FileId) -> Option<u64> {
+        self.last_used.get(&file).copied()
+    }
+}
+
+impl CachePolicy for Lru {
+    fn name(&self) -> &str {
+        "LRU"
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        self.clock += 1;
+        let last_used = &self.last_used;
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            choose_victim_min_by(cache, bundle, |f, _| {
+                last_used.get(&f).copied().unwrap_or(0)
+            })
+        });
+        if outcome.serviced {
+            for f in bundle.iter() {
+                self.last_used.insert(f, self.clock);
+            }
+        }
+        for f in &outcome.evicted_files {
+            self.last_used.remove(f);
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.clock = 0;
+        self.last_used.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(ids: &[u32]) -> Bundle {
+        Bundle::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let catalog = FileCatalog::from_sizes(vec![1; 4]);
+        let mut cache = CacheState::new(2);
+        let mut lru = Lru::new();
+        lru.handle(&b(&[0]), &mut cache, &catalog);
+        lru.handle(&b(&[1]), &mut cache, &catalog);
+        lru.handle(&b(&[0]), &mut cache, &catalog); // refresh f0
+        let out = lru.handle(&b(&[2]), &mut cache, &catalog);
+        assert_eq!(out.evicted_files, vec![FileId(1)]);
+        assert!(cache.contains(FileId(0)));
+    }
+
+    #[test]
+    fn hit_still_refreshes_recency() {
+        let catalog = FileCatalog::from_sizes(vec![1; 3]);
+        let mut cache = CacheState::new(2);
+        let mut lru = Lru::new();
+        lru.handle(&b(&[0, 1]), &mut cache, &catalog);
+        let hit = lru.handle(&b(&[0]), &mut cache, &catalog);
+        assert!(hit.hit);
+        assert!(lru.last_used(FileId(0)).unwrap() > lru.last_used(FileId(1)).unwrap());
+    }
+
+    #[test]
+    fn all_bundle_files_touched_with_same_tick() {
+        let catalog = FileCatalog::from_sizes(vec![1; 3]);
+        let mut cache = CacheState::new(3);
+        let mut lru = Lru::new();
+        lru.handle(&b(&[0, 1, 2]), &mut cache, &catalog);
+        assert_eq!(lru.last_used(FileId(0)), lru.last_used(FileId(2)));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let catalog = FileCatalog::from_sizes(vec![1]);
+        let mut cache = CacheState::new(1);
+        let mut lru = Lru::new();
+        lru.handle(&b(&[0]), &mut cache, &catalog);
+        lru.reset();
+        assert_eq!(lru.last_used(FileId(0)), None);
+    }
+}

@@ -1,0 +1,71 @@
+//! Largest-file-first replacement: the victim is the biggest evictable
+//! resident file. A classic web-caching heuristic (SIZE) that maximises the
+//! *number* of objects kept — usually at the expense of the byte miss ratio,
+//! which is exactly the trade-off the paper's metric punishes.
+
+use fbc_core::bundle::Bundle;
+use fbc_core::cache::CacheState;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use std::cmp::Reverse;
+
+use crate::util::choose_victim_min_by;
+
+/// Largest-first replacement policy.
+#[derive(Debug, Clone, Default)]
+pub struct LargestFirst;
+
+impl LargestFirst {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl CachePolicy for LargestFirst {
+    fn name(&self) -> &str {
+        "SIZE"
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        service_with_evictor(bundle, cache, catalog, |cache| {
+            choose_victim_min_by(cache, bundle, |_, size| Reverse(size))
+        })
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbc_core::types::FileId;
+
+    fn b(ids: &[u32]) -> Bundle {
+        Bundle::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn evicts_largest_file() {
+        let catalog = FileCatalog::from_sizes(vec![5, 3, 4]);
+        let mut cache = CacheState::new(8);
+        let mut p = LargestFirst::new();
+        p.handle(&b(&[0]), &mut cache, &catalog);
+        p.handle(&b(&[1]), &mut cache, &catalog);
+        let out = p.handle(&b(&[2]), &mut cache, &catalog);
+        assert_eq!(out.evicted_files, vec![FileId(0)]);
+        assert!(cache.contains(FileId(1)));
+    }
+
+    #[test]
+    fn stateless_reset_is_noop() {
+        let mut p = LargestFirst::new();
+        p.reset();
+        assert_eq!(p.name(), "SIZE");
+    }
+}

@@ -1,0 +1,216 @@
+//! Segmented LRU (Karedla, Love & Wherry, 1994), bundle-adapted.
+//!
+//! Residents are split into a *probationary* and a *protected* segment. A
+//! file enters probation on first fetch; a hit while on probation promotes
+//! it to the protected segment (whose byte size is capped at a fraction of
+//! the cache); overflowing the protected segment demotes its LRU tail back
+//! to probation. Victims always come from probation's LRU end, so one-shot
+//! files can never displace twice-referenced ones — scan resistance with
+//! plain-LRU bookkeeping.
+
+use fbc_core::bundle::Bundle;
+use fbc_core::cache::CacheState;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::types::{Bytes, FileId};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Probation,
+    Protected,
+}
+
+/// The SLRU policy.
+#[derive(Debug, Clone)]
+pub struct Slru {
+    /// Maximum fraction of the cache the protected segment may hold.
+    protected_fraction: f64,
+    clock: u64,
+    /// Per-resident-file: segment and last-touch tick.
+    state: HashMap<FileId, (Segment, u64)>,
+}
+
+impl Slru {
+    /// SLRU with the conventional 80 % protected share.
+    pub fn new() -> Self {
+        Self::with_protected_fraction(0.8)
+    }
+
+    /// SLRU with an explicit protected-segment share in `(0, 1)`.
+    pub fn with_protected_fraction(protected_fraction: f64) -> Self {
+        assert!(
+            protected_fraction > 0.0 && protected_fraction < 1.0,
+            "protected fraction must be in (0, 1), got {protected_fraction}"
+        );
+        Self {
+            protected_fraction,
+            clock: 0,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Whether `file` currently sits in the protected segment (diagnostics).
+    pub fn is_protected(&self, file: FileId) -> bool {
+        matches!(self.state.get(&file), Some((Segment::Protected, _)))
+    }
+
+    fn protected_bytes(&self, cache: &CacheState) -> Bytes {
+        cache
+            .iter()
+            .filter(|(f, _)| matches!(self.state.get(f), Some((Segment::Protected, _))))
+            .map(|(_, s)| s)
+            .sum()
+    }
+
+    /// Demotes protected LRU tails until the protected segment fits its cap.
+    fn rebalance(&mut self, cache: &CacheState) {
+        let cap = (cache.capacity() as f64 * self.protected_fraction) as Bytes;
+        while self.protected_bytes(cache) > cap {
+            let victim = cache
+                .iter()
+                .filter_map(|(f, _)| match self.state.get(&f) {
+                    Some((Segment::Protected, tick)) => Some((f, *tick)),
+                    _ => None,
+                })
+                .min_by_key(|&(f, tick)| (tick, f));
+            match victim {
+                Some((f, tick)) => {
+                    self.state.insert(f, (Segment::Probation, tick));
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl Default for Slru {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CachePolicy for Slru {
+    fn name(&self) -> &str {
+        "SLRU"
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        self.clock += 1;
+        let state = &self.state;
+        // Victim: probation's LRU end; if probation is empty (everything
+        // protected), fall back to protected's LRU end.
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            let evictable = |f: FileId| !bundle.contains(f) && !cache.is_pinned(f);
+            let pick = |segment: Segment| {
+                cache
+                    .iter()
+                    .filter_map(|(f, _)| match state.get(&f) {
+                        Some((s, tick)) if *s == segment && evictable(f) => Some((f, *tick)),
+                        _ => None,
+                    })
+                    .min_by_key(|&(f, tick)| (tick, f))
+                    .map(|(f, _)| f)
+            };
+            pick(Segment::Probation).or_else(|| pick(Segment::Protected))
+        });
+
+        for f in &outcome.evicted_files {
+            self.state.remove(f);
+        }
+        if outcome.serviced {
+            for f in bundle.iter() {
+                let entry = match self.state.get(&f) {
+                    // Hit on a resident file: promote to protected.
+                    Some(_) if !outcome.fetched_files.contains(&f) => {
+                        (Segment::Protected, self.clock)
+                    }
+                    // Newly fetched: probation.
+                    _ => (Segment::Probation, self.clock),
+                };
+                self.state.insert(f, entry);
+            }
+            self.rebalance(cache);
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.clock = 0;
+        self.state.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(ids: &[u32]) -> Bundle {
+        Bundle::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn first_touch_is_probationary_second_promotes() {
+        let catalog = FileCatalog::from_sizes(vec![1; 4]);
+        let mut cache = CacheState::new(4);
+        let mut p = Slru::new();
+        p.handle(&b(&[0]), &mut cache, &catalog);
+        assert!(!p.is_protected(FileId(0)));
+        p.handle(&b(&[0]), &mut cache, &catalog);
+        assert!(p.is_protected(FileId(0)));
+    }
+
+    #[test]
+    fn scans_evict_probation_not_protected() {
+        let catalog = FileCatalog::from_sizes(vec![1; 30]);
+        let mut cache = CacheState::new(3);
+        let mut p = Slru::new();
+        // Promote {0,1}.
+        p.handle(&b(&[0, 1]), &mut cache, &catalog);
+        p.handle(&b(&[0, 1]), &mut cache, &catalog);
+        // One-shot scan of 20 distinct files: each enters probation and is
+        // evicted by the next, never touching the protected pair.
+        for i in 10..30u32 {
+            p.handle(&b(&[i]), &mut cache, &catalog);
+        }
+        assert!(cache.supports(&b(&[0, 1])));
+    }
+
+    #[test]
+    fn protected_segment_is_capped() {
+        let catalog = FileCatalog::from_sizes(vec![1; 10]);
+        let mut cache = CacheState::new(4);
+        // Cap protected at 50% = 2 bytes.
+        let mut p = Slru::with_protected_fraction(0.5);
+        for i in 0..4u32 {
+            p.handle(&b(&[i]), &mut cache, &catalog);
+            p.handle(&b(&[i]), &mut cache, &catalog); // promote each
+        }
+        let protected = (0..4u32).filter(|&i| p.is_protected(FileId(i))).count();
+        assert!(protected <= 2, "protected segment over cap: {protected}");
+    }
+
+    #[test]
+    fn falls_back_to_protected_when_probation_empty() {
+        let catalog = FileCatalog::from_sizes(vec![1; 4]);
+        let mut cache = CacheState::new(2);
+        let mut p = Slru::new();
+        p.handle(&b(&[0, 1]), &mut cache, &catalog);
+        p.handle(&b(&[0, 1]), &mut cache, &catalog); // both protected
+                                                     // New file must displace a protected one (probation empty).
+        let out = p.handle(&b(&[2]), &mut cache, &catalog);
+        assert!(out.serviced);
+        assert_eq!(out.evicted_files.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "protected fraction")]
+    fn bad_fraction_rejected() {
+        let _ = Slru::with_protected_fraction(1.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Shared helpers for victim selection in the baseline policies.
+
+use fbc_core::bundle::Bundle;
+use fbc_core::cache::CacheState;
+use fbc_core::types::FileId;
+
+/// Picks the evictable resident file minimising `key` — excluding files of
+/// the in-flight `bundle` and pinned files. Ties are broken by lower
+/// [`FileId`] so every policy is deterministic.
+pub fn choose_victim_min_by<K, F>(cache: &CacheState, bundle: &Bundle, mut key: F) -> Option<FileId>
+where
+    K: PartialOrd,
+    F: FnMut(FileId, u64) -> K,
+{
+    let mut best: Option<(FileId, K)> = None;
+    let mut candidates: Vec<(FileId, u64)> = cache
+        .iter()
+        .filter(|&(f, _)| !bundle.contains(f) && !cache.is_pinned(f))
+        .collect();
+    candidates.sort_unstable_by_key(|&(f, _)| f);
+    for (f, size) in candidates {
+        let k = key(f, size);
+        match &best {
+            Some((_, bk)) if *bk <= k => {}
+            _ => best = Some((f, k)),
+        }
+    }
+    best.map(|(f, _)| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbc_core::catalog::FileCatalog;
+
+    #[test]
+    fn picks_minimum_and_skips_bundle_and_pinned() {
+        let catalog = FileCatalog::from_sizes(vec![1, 2, 3, 4]);
+        let mut cache = CacheState::new(10);
+        for i in 0..4 {
+            cache.insert(FileId(i), &catalog).unwrap();
+        }
+        cache.pin(FileId(0)).unwrap();
+        let bundle = Bundle::from_raw([1]);
+        // key = size: smallest evictable is f2 (f0 pinned, f1 in bundle).
+        let v = choose_victim_min_by(&cache, &bundle, |_, size| size);
+        assert_eq!(v, Some(FileId(2)));
+    }
+
+    #[test]
+    fn ties_break_to_lower_id() {
+        let catalog = FileCatalog::from_sizes(vec![5, 5, 5]);
+        let mut cache = CacheState::new(15);
+        for i in 0..3 {
+            cache.insert(FileId(i), &catalog).unwrap();
+        }
+        let v = choose_victim_min_by(&cache, &Bundle::new([]), |_, _| 0u8);
+        assert_eq!(v, Some(FileId(0)));
+    }
+
+    #[test]
+    fn empty_cache_yields_none() {
+        let cache = CacheState::new(10);
+        assert_eq!(
+            choose_victim_min_by(&cache, &Bundle::new([]), |_, s| s),
+            None
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks of the discrete-event grid engine: events
+//! processed per second for single- and multi-SRM simulations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fbc_core::catalog::FileCatalog;
+use fbc_core::optfilebundle::OptFileBundle;
+use fbc_core::policy::CachePolicy;
+use fbc_grid::client::{schedule_arrivals, ArrivalProcess, JobArrival};
+use fbc_grid::engine::{run_grid, GridConfig};
+use fbc_grid::multi::{run_multi_grid, Dispatch, MultiGridConfig};
+use fbc_grid::srm::SrmConfig;
+use fbc_workload::{Popularity, Workload, WorkloadConfig};
+
+fn workload(jobs: usize) -> (FileCatalog, Vec<JobArrival>) {
+    let w = Workload::generate(WorkloadConfig {
+        num_files: 200,
+        max_file_frac: 0.02,
+        pool_requests: 100,
+        jobs,
+        files_per_request: (1, 4),
+        popularity: Popularity::zipf(),
+        seed: 0x6E1D,
+        ..WorkloadConfig::default()
+    });
+    let arrivals = schedule_arrivals(
+        &w.jobs,
+        ArrivalProcess::Poisson {
+            rate: 10.0,
+            seed: 3,
+        },
+    );
+    (w.catalog, arrivals)
+}
+
+fn bench_single_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_engine");
+    group.sample_size(10);
+    for &jobs in &[500usize, 2_000] {
+        let (catalog, arrivals) = workload(jobs);
+        group.throughput(Throughput::Elements(jobs as u64));
+        group.bench_with_input(
+            BenchmarkId::new("single_srm", jobs),
+            &(catalog, arrivals),
+            |b, (catalog, arrivals)| {
+                b.iter(|| {
+                    let mut policy = OptFileBundle::new();
+                    run_grid(&mut policy, catalog, arrivals, &GridConfig::default())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_multi_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_engine_multi");
+    group.sample_size(10);
+    let jobs = 2_000usize;
+    let (catalog, arrivals) = workload(jobs);
+    group.throughput(Throughput::Elements(jobs as u64));
+    for &nodes in &[2usize, 4] {
+        let config = MultiGridConfig {
+            srm: SrmConfig::default(),
+            nodes,
+            mss: Default::default(),
+            link: Default::default(),
+            dispatch: Dispatch::BundleAffinity,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("bundle_affinity", nodes),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut policies: Vec<Box<dyn CachePolicy>> = (0..nodes)
+                        .map(|_| Box::new(OptFileBundle::new()) as Box<dyn CachePolicy>)
+                        .collect();
+                    run_multi_grid(&mut policies, &catalog, &arrivals, config)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_grid, bench_multi_grid);
+criterion_main!(benches);

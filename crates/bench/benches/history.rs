@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks of the request-history machinery: recording,
+//! candidate discovery with and without the inverted [`SupportIndex`], and
+//! relative-value computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbc_core::bundle::Bundle;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::history::RequestHistory;
+use fbc_core::index::SupportIndex;
+use fbc_core::types::FileId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` distinct bundles over `n` files, bundle size 2–6.
+fn bundles(n: usize, files: usize, seed: u64) -> Vec<Bundle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(2..=6);
+            Bundle::from_raw((0..k).map(|_| rng.gen_range(0..files as u32)))
+        })
+        .collect()
+}
+
+fn bench_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history_record");
+    for &n in &[1_000usize, 10_000] {
+        let bs = bundles(n, n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bs, |b, bs| {
+            b.iter(|| {
+                let mut h = RequestHistory::new();
+                for bundle in bs {
+                    h.record(bundle);
+                }
+                h.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidate_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_supported_candidates");
+    for &n in &[1_000usize, 10_000] {
+        let files = n;
+        let bs = bundles(n, files, 2);
+        // Populate history + index; mark 5% of files resident.
+        let mut history = RequestHistory::new();
+        let mut index = SupportIndex::new();
+        for bundle in &bs {
+            history.record(bundle);
+            index.on_record(bundle);
+        }
+        let resident: Vec<FileId> = (0..(files / 20).max(4)).map(|i| FileId(i as u32)).collect();
+        let resident_set: std::collections::HashSet<FileId> = resident.iter().copied().collect();
+        for &f in &resident {
+            index.on_insert(f);
+        }
+        let incoming = bs[0].clone();
+
+        group.bench_with_input(BenchmarkId::new("scan", n), &(), |b, _| {
+            b.iter(|| {
+                history
+                    .entries()
+                    .filter(|e| {
+                        e.bundle
+                            .is_subset_of(|f| resident_set.contains(&f) || incoming.contains(f))
+                    })
+                    .count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", n), &(), |b, _| {
+            b.iter(|| index.supported_with(&incoming).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_relative_value(c: &mut Criterion) {
+    let bs = bundles(5_000, 5_000, 3);
+    let catalog = FileCatalog::from_sizes(vec![1_000_000; 5_000]);
+    let mut history = RequestHistory::new();
+    for bundle in &bs {
+        history.record(bundle);
+    }
+    c.bench_function("relative_value_5k_history", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % bs.len();
+            history.relative_value(&bs[i], &catalog)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_record,
+    bench_candidate_discovery,
+    bench_relative_value
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of whole-trace policy throughput: how many
+//! requests per second each replacement policy can decide on, on the
+//! paper's standard workload. OptFileBundle's per-decision cost is the
+//! price of bundle-awareness; the paper argues it stays constant with
+//! cache-supported history truncation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fbc_baselines::{Gdsf, Landlord, Lfu, Lru};
+use fbc_core::optfilebundle::{HistoryMode, OfbConfig, OptFileBundle};
+use fbc_core::policy::CachePolicy;
+use fbc_sim::runner::{run_trace, RunConfig};
+use fbc_workload::{Popularity, Trace, Workload, WorkloadConfig};
+
+fn standard_trace(jobs: usize) -> (Trace, u64) {
+    let cfg = WorkloadConfig {
+        jobs,
+        popularity: Popularity::zipf(),
+        seed: 0xBE7C,
+        ..WorkloadConfig::default()
+    };
+    let w = Workload::generate(cfg);
+    let cache = (w.mean_request_bytes() * 8.0) as u64;
+    (w.into_trace(), cache)
+}
+
+fn bench_policy_throughput(c: &mut Criterion) {
+    let jobs = 2_000usize;
+    let (trace, cache) = standard_trace(jobs);
+    let mut group = c.benchmark_group("policy_trace_throughput");
+    group.throughput(Throughput::Elements(jobs as u64));
+    group.sample_size(10);
+
+    type PolicyFactory = Box<dyn Fn() -> Box<dyn CachePolicy>>;
+    let cases: Vec<(&str, PolicyFactory)> = vec![
+        ("OptFileBundle", Box::new(|| Box::new(OptFileBundle::new()))),
+        (
+            "OptFileBundle-full-history",
+            Box::new(|| {
+                Box::new(OptFileBundle::with_config(OfbConfig {
+                    history_mode: HistoryMode::Full,
+                    ..OfbConfig::default()
+                }))
+            }),
+        ),
+        ("Landlord", Box::new(|| Box::new(Landlord::new()))),
+        ("LRU", Box::new(|| Box::new(Lru::new()))),
+        ("LFU", Box::new(|| Box::new(Lfu::new()))),
+        ("GDSF", Box::new(|| Box::new(Gdsf::new()))),
+    ];
+    for (name, make) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, trace| {
+            b.iter(|| {
+                let mut policy = make();
+                run_trace(policy.as_mut(), trace, &RunConfig::new(cache))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_throughput);
+criterion_main!(benches);

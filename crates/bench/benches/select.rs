@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks for `OptCacheSelect`: decision latency as a
+//! function of the candidate-history size (the cost the paper's §5.2
+//! history-truncation study is about).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbc_core::enumerate::opt_cache_select_enumerated;
+use fbc_core::instance::FbcInstance;
+use fbc_core::select::{opt_cache_select, GreedyVariant, SelectOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A candidate set shaped like a real replacement decision: `n` requests of
+/// 2–6 files over a pool of `n` files, capacity enough for roughly a
+/// quarter of them.
+fn instance(n: usize, seed: u64) -> FbcInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=100)).collect();
+    let requests: Vec<(Vec<u32>, f64)> = (0..n)
+        .map(|_| {
+            let k = rng.gen_range(2..=6);
+            let files: Vec<u32> = (0..k).map(|_| rng.gen_range(0..n as u32)).collect();
+            (files, rng.gen_range(1..=50) as f64)
+        })
+        .collect();
+    let capacity: u64 = sizes.iter().sum::<u64>() / 4;
+    FbcInstance::new(capacity, sizes, requests).expect("valid instance")
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_cache_select");
+    // Shared-credit is O(n² · b); keep sampling modest at the top end.
+    group.sample_size(10);
+    for &n in &[64usize, 256, 1024, 4096] {
+        let inst = instance(n, 42);
+        for (label, variant) in [
+            ("paper_literal", GreedyVariant::PaperLiteral),
+            ("sorted_once", GreedyVariant::SortedOnce),
+            ("shared_credit", GreedyVariant::SharedCredit),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &inst, |b, inst| {
+                let opts = SelectOptions {
+                    variant,
+                    max_single_fallback: true,
+                };
+                b.iter(|| opt_cache_select(std::hint::black_box(inst), &opts));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partial_enumeration");
+    group.sample_size(10);
+    for &n in &[16usize, 32, 64] {
+        let inst = instance(n, 7);
+        group.bench_with_input(BenchmarkId::new("k2", n), &inst, |b, inst| {
+            b.iter(|| opt_cache_select_enumerated(std::hint::black_box(inst), 2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_enumeration);
+criterion_main!(benches);

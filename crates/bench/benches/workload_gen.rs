@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks of workload generation: Zipf sampling and the
+//! full §5.1 generator, so sweep costs are attributable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fbc_workload::{Popularity, PopularitySampler, Workload, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_zipf_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf_sampling");
+    for &n in &[100usize, 10_000, 1_000_000] {
+        let sampler = PopularitySampler::new(Popularity::zipf(), n);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sampler, |b, s| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| s.sample(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.sample_size(10);
+    for &jobs in &[1_000usize, 10_000] {
+        let cfg = WorkloadConfig {
+            jobs,
+            ..WorkloadConfig::default()
+        };
+        group.throughput(Throughput::Elements(jobs as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &cfg, |b, cfg| {
+            b.iter(|| Workload::generate(*cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zipf_sampling, bench_workload_generation);
+criterion_main!(benches);

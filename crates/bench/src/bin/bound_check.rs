@@ -1,0 +1,101 @@
+//! Empirical verification of **Theorem 4.1**: on random small FBC
+//! instances, compares `OptCacheSelect` (and its partial-enumeration
+//! variant) against the exact branch-and-bound optimum, and checks the
+//! `½(1 − e^{−1/d})` / `(1 − e^{−1/d})` guarantees.
+//!
+//! ```text
+//! cargo run --release -p fbc-bench --bin bound_check
+//! ```
+
+use fbc_bench::{banner, results_dir};
+use fbc_core::bounds::{check_enumerated_bound, check_greedy_bound};
+use fbc_core::enumerate::opt_cache_select_enumerated;
+use fbc_core::exact::solve_exact;
+use fbc_core::instance::FbcInstance;
+use fbc_core::select::{opt_cache_select, SelectOptions};
+use fbc_sim::report::{f4, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(rng: &mut StdRng) -> FbcInstance {
+    let m = rng.gen_range(4..=12);
+    let sizes: Vec<u64> = (0..m).map(|_| rng.gen_range(1..=30)).collect();
+    let n = rng.gen_range(3..=14);
+    let requests: Vec<(Vec<u32>, f64)> = (0..n)
+        .map(|_| {
+            let k = rng.gen_range(1..=4.min(m));
+            let files: Vec<u32> = (0..k).map(|_| rng.gen_range(0..m as u32)).collect();
+            (files, rng.gen_range(1..=100) as f64)
+        })
+        .collect();
+    let capacity = rng.gen_range(10..=120);
+    FbcInstance::new(capacity, sizes, requests).expect("valid random instance")
+}
+
+fn main() {
+    banner("Theorem 4.1 — empirical approximation-ratio check");
+    let instances = if fbc_bench::quick_mode() { 300 } else { 2000 };
+    let mut rng = StdRng::seed_from_u64(0x41_2004);
+
+    let mut worst_greedy = f64::INFINITY;
+    let mut worst_enum = f64::INFINITY;
+    let mut sum_greedy = 0.0;
+    let mut sum_enum = 0.0;
+    let mut greedy_optimal = 0u64;
+    let mut enum_optimal = 0u64;
+    let mut violations = 0u64;
+    let mut max_d = 0;
+
+    for _ in 0..instances {
+        let inst = random_instance(&mut rng);
+        let exact = solve_exact(&inst);
+        let greedy = opt_cache_select(&inst, &SelectOptions::default());
+        let enumerated = opt_cache_select_enumerated(&inst, 2);
+        max_d = max_d.max(inst.max_degree());
+
+        let cg = check_greedy_bound(&inst, greedy.value, exact.value);
+        let ce = check_enumerated_bound(&inst, enumerated.value, exact.value);
+        if !cg.holds || !ce.holds {
+            violations += 1;
+        }
+        worst_greedy = worst_greedy.min(cg.achieved_ratio);
+        worst_enum = worst_enum.min(ce.achieved_ratio);
+        sum_greedy += cg.achieved_ratio;
+        sum_enum += ce.achieved_ratio;
+        if cg.achieved_ratio >= 1.0 - 1e-9 {
+            greedy_optimal += 1;
+        }
+        if ce.achieved_ratio >= 1.0 - 1e-9 {
+            enum_optimal += 1;
+        }
+    }
+
+    let mut table = Table::new([
+        "algorithm",
+        "worst ratio",
+        "mean ratio",
+        "optimal found",
+        "theoretical bound (worst d)",
+    ]);
+    table.add_row([
+        "OptCacheSelect (greedy)".to_string(),
+        f4(worst_greedy),
+        f4(sum_greedy / instances as f64),
+        format!("{greedy_optimal}/{instances}"),
+        f4(fbc_core::bounds::greedy_bound(max_d)),
+    ]);
+    table.add_row([
+        "partial enumeration (k=2)".to_string(),
+        f4(worst_enum),
+        f4(sum_enum / instances as f64),
+        format!("{enum_optimal}/{instances}"),
+        f4(fbc_core::bounds::enumerated_bound(max_d)),
+    ]);
+    print!("{}", table.to_ascii());
+    println!("\nGuarantee violations: {violations} (must be 0); max file degree seen: {max_d}.");
+    assert_eq!(violations, 0, "Theorem 4.1 guarantee violated!");
+
+    let out = results_dir().join("bound_check.csv");
+    table.save_csv(&out).expect("write CSV");
+    println!("CSV written to {}", out.display());
+}

@@ -1,0 +1,84 @@
+//! Extension experiment: mass-storage replication (paper §1 lists
+//! "strategic data replication" among data-grid techniques). Sweeps the
+//! replica count per file across a 4-site storage fabric and measures the
+//! effect on job response time — byte traffic is unchanged, only drive
+//! contention and thus timing improves.
+//!
+//! ```text
+//! cargo run --release -p fbc-bench --bin grid_replication
+//! ```
+
+use fbc_bench::{banner, paper_workload, results_dir};
+use fbc_core::optfilebundle::OptFileBundle;
+use fbc_core::types::GIB;
+use fbc_grid::client::{schedule_arrivals, ArrivalProcess};
+use fbc_grid::replica::{run_grid_replicated, Placement, ReplicaGridConfig};
+use fbc_grid::srm::SrmConfig;
+use fbc_sim::report::{f2, f4, Table};
+use fbc_workload::{Popularity, Workload};
+
+const SITES: usize = 4;
+
+fn main() {
+    banner("Storage replication — replicas per file across a 4-site MSS fabric");
+    let mut wl_cfg = paper_workload(Popularity::zipf(), 0.01, 17_001);
+    wl_cfg.jobs = if fbc_bench::quick_mode() { 600 } else { 4_000 };
+    let workload = Workload::generate(wl_cfg);
+    let files = workload.catalog.len();
+    let arrivals = schedule_arrivals(
+        &workload.jobs,
+        ArrivalProcess::Poisson {
+            rate: 3.0,
+            seed: 71,
+        },
+    );
+    let config = |placement: Placement| ReplicaGridConfig {
+        srm: SrmConfig {
+            cache_size: 2 * GIB,
+            max_concurrent_jobs: 4,
+            ..SrmConfig::default()
+        },
+        mss: Default::default(),
+        link: Default::default(),
+        placement,
+    };
+
+    let mut table = Table::new([
+        "replicas/file",
+        "byte miss ratio",
+        "mean resp (s)",
+        "p95 resp (s)",
+        "throughput (jobs/s)",
+    ]);
+    for copies in 1..=SITES {
+        let placement = if copies == SITES {
+            Placement::full(files, SITES)
+        } else {
+            Placement::random(files, SITES, copies, 0x4E9)
+        };
+        let mut policy = OptFileBundle::new();
+        let stats = run_grid_replicated(
+            &mut policy,
+            &workload.catalog,
+            &arrivals,
+            &config(placement),
+        );
+        table.add_row([
+            copies.to_string(),
+            f4(stats.cache.byte_miss_ratio()),
+            f2(stats.mean_response().as_secs_f64()),
+            f2(stats.percentile_response(0.95).as_secs_f64()),
+            f2(stats.throughput()),
+        ]);
+    }
+    print!("{}", table.to_ascii());
+    println!(
+        "\nReading: replication leaves the byte miss ratio essentially unchanged\n\
+         (the cache decides what moves) but spreads tape-drive contention across\n\
+         sites, cutting response times — diminishing returns past 2-3 copies."
+    );
+
+    let out = results_dir().join("grid_replication.csv");
+    table.save_csv(&out).expect("write CSV");
+    println!("CSV written to {}", out.display());
+}

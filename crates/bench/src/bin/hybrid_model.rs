@@ -1,0 +1,68 @@
+//! Extension experiment (paper §6 future work): the **hybrid execution
+//! model** — a mix of jobs executing *One File at a Time* with jobs
+//! executing *File-Bundle at a Time* — swept over the single-file fraction.
+//!
+//! ```text
+//! cargo run --release -p fbc-bench --bin hybrid_model
+//! ```
+
+use fbc_baselines::Landlord;
+use fbc_bench::{banner, paper_workload, results_dir, Experiment, BASE_CACHE};
+use fbc_core::optfilebundle::OptFileBundle;
+use fbc_core::policy::CachePolicy;
+use fbc_sim::hybrid::run_hybrid;
+use fbc_sim::report::{f2, f4, Table};
+use fbc_sim::runner::RunConfig;
+use fbc_sim::sweep::{default_threads, parallel_sweep};
+use fbc_workload::Popularity;
+
+const FRACTIONS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+fn main() {
+    banner("Hybrid execution model — one-file-at-a-time job fraction sweep");
+    let exp = Experiment::generate(paper_workload(Popularity::zipf(), 0.01, 14_001));
+    let cfg = RunConfig::new(BASE_CACHE);
+
+    let cells: Vec<(usize, f64)> = (0..2)
+        .flat_map(|p| FRACTIONS.iter().map(move |&f| (p, f)))
+        .collect();
+    let results = parallel_sweep(&cells, default_threads(), |&(p, frac)| {
+        let mut policy: Box<dyn CachePolicy> = if p == 0 {
+            Box::new(OptFileBundle::new())
+        } else {
+            Box::new(Landlord::new())
+        };
+        run_hybrid(policy.as_mut(), &exp.trace, &cfg, frac, 0xF8AC)
+    });
+
+    let mut table = Table::new([
+        "single-file fraction",
+        "bmr OFB",
+        "job-hit OFB",
+        "bmr Landlord",
+        "job-hit Landlord",
+    ]);
+    for (i, &frac) in FRACTIONS.iter().enumerate() {
+        let ofb = &results[i];
+        let ll = &results[FRACTIONS.len() + i];
+        table.add_row([
+            f2(frac),
+            f4(ofb.overall.byte_miss_ratio()),
+            f4(ofb.overall.request_hit_ratio()),
+            f4(ll.overall.byte_miss_ratio()),
+            f4(ll.overall.request_hit_ratio()),
+        ]);
+    }
+    print!("{}", table.to_ascii());
+    println!(
+        "\nReading: as jobs shift to one-file-at-a-time the *job-hit* ratio falls\n\
+         (co-residency of a whole job is no longer guaranteed), while the byte\n\
+         miss ratio stays flat — OptFileBundle degenerates gracefully into a\n\
+         frequency/size-aware single-file policy and keeps its lead over\n\
+         Landlord's recency-based credits."
+    );
+
+    let out = results_dir().join("hybrid_model.csv");
+    table.save_csv(&out).expect("write CSV");
+    println!("CSV written to {}", out.display());
+}

@@ -1,0 +1,62 @@
+//! Extension experiment: sensitivity to popularity skew. The paper studies
+//! only the two extremes — uniform and Zipf(1) — "since each request draws
+//! a random combination of files" (§5.2); this sweep fills in the θ axis
+//! and shows where bundle-awareness pays most.
+//!
+//! ```text
+//! cargo run --release -p fbc-bench --bin popularity_sweep
+//! ```
+
+use fbc_baselines::Landlord;
+use fbc_bench::{banner, paper_workload, results_dir, Experiment, BASE_CACHE};
+use fbc_core::optfilebundle::OptFileBundle;
+use fbc_sim::report::{f2, f4, Table};
+use fbc_sim::sweep::{default_threads, parallel_sweep};
+use fbc_workload::Popularity;
+
+const THETAS: [f64; 6] = [0.0, 0.4, 0.8, 1.0, 1.4, 2.0];
+
+fn main() {
+    banner("Popularity sweep — byte miss ratio vs Zipf skew θ (θ=0 is uniform)");
+
+    let results = parallel_sweep(&THETAS, default_threads(), |&theta| {
+        let popularity = if theta == 0.0 {
+            Popularity::Uniform
+        } else {
+            Popularity::Zipf { theta }
+        };
+        let exp = Experiment::generate(paper_workload(popularity, 0.01, 19_001));
+        let ofb = exp.run(OptFileBundle::new(), BASE_CACHE);
+        let ll = exp.run(Landlord::new(), BASE_CACHE);
+        (ofb, ll)
+    });
+
+    let mut table = Table::new([
+        "theta",
+        "bmr OFB",
+        "bmr Landlord",
+        "OFB advantage (%)",
+        "hit ratio OFB",
+    ]);
+    for (&theta, (ofb, ll)) in THETAS.iter().zip(&results) {
+        let gain = 100.0 * (ll.byte_miss_ratio() - ofb.byte_miss_ratio())
+            / ll.byte_miss_ratio().max(1e-12);
+        table.add_row([
+            f2(theta),
+            f4(ofb.byte_miss_ratio()),
+            f4(ll.byte_miss_ratio()),
+            f2(gain),
+            f4(ofb.request_hit_ratio()),
+        ]);
+    }
+    print!("{}", table.to_ascii());
+    println!(
+        "\nReading: skew concentrates recurrence onto few bundles, which is exactly\n\
+         the signal OptFileBundle's history exploits — its relative advantage\n\
+         grows with θ until the hot set fits outright and every policy converges."
+    );
+
+    let out = results_dir().join("popularity_sweep.csv");
+    table.save_csv(&out).expect("write CSV");
+    println!("CSV written to {}", out.display());
+}

@@ -1,0 +1,168 @@
+//! `fbcache compare` — run several policies over one trace and tabulate.
+
+use crate::args::{ArgError, Args};
+use crate::policies::{policy_by_name, POLICY_NAMES};
+use fbc_sim::queue::QueueConfig;
+use fbc_sim::report::{f4, Table};
+use fbc_sim::runner::{run_trace, RunConfig};
+use fbc_workload::{transform, Trace};
+
+/// Usage text for `compare`.
+pub const USAGE: &str = "\
+fbcache compare --trace <FILE> --cache <SIZE> [options]
+
+Run several policies over the same trace and print a comparison table.
+
+Options:
+  --trace FILE        input trace (required)
+  --cache SIZE        disk-cache capacity (required)
+  --policies LIST     comma-separated policy names
+                      [optfilebundle,landlord,lru,arc,gdsf,belady]
+  --queue N           queued admission (highest-relative-value, q=N) [1]
+  --scans F           inject one-shot scan jobs with probability F [0]
+  --warmup N          exclude the first N jobs from the metrics [0]
+  --csv FILE          also write the table as CSV
+";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&[
+        "trace", "cache", "policies", "queue", "scans", "warmup", "csv",
+    ])?;
+    let trace_path = args.require("trace")?;
+    let cache = args.get_bytes_or("cache", 0)?;
+    if cache == 0 {
+        return Err(ArgError("missing required flag --cache".into()));
+    }
+    let list = args
+        .get("policies")
+        .unwrap_or("optfilebundle,landlord,lru,arc,gdsf,belady");
+    let names: Vec<&str> = list.split(',').map(str::trim).collect();
+    let queue_len: usize = args.get_or("queue", 1usize)?;
+    let scans: f64 = args.get_or("scans", 0.0f64)?;
+    if !(0.0..=1.0).contains(&scans) {
+        return Err(ArgError(format!("--scans must be in [0, 1], got {scans}")));
+    }
+    let warmup: u64 = args.get_or("warmup", 0u64)?;
+
+    let mut trace =
+        Trace::load(trace_path).map_err(|e| ArgError(format!("cannot read {trace_path}: {e}")))?;
+    if scans > 0.0 {
+        trace = transform::with_scans(&trace, scans, 0x5CA4);
+        println!("scan injection: trace grew to {} jobs", trace.len());
+    }
+    let run_cfg = RunConfig {
+        cache_size: cache,
+        series_window: None,
+        warmup_jobs: warmup,
+    };
+
+    let mut table = Table::new([
+        "policy",
+        "byte miss ratio",
+        "request-hit ratio",
+        "GiB fetched",
+        "GiB evicted",
+    ]);
+    for name in names {
+        let mut policy = policy_by_name(name).ok_or_else(|| {
+            ArgError(format!(
+                "unknown policy '{name}' (one of: {})",
+                POLICY_NAMES.join(", ")
+            ))
+        })?;
+        let m = if queue_len > 1 {
+            fbc_sim::queue::run_queued(
+                policy.as_mut(),
+                &trace,
+                &run_cfg,
+                &QueueConfig::hrv(queue_len),
+            )
+        } else {
+            run_trace(policy.as_mut(), &trace, &run_cfg)
+        };
+        table.add_row([
+            policy.name().to_string(),
+            f4(m.byte_miss_ratio()),
+            f4(m.request_hit_ratio()),
+            format!("{:.2}", m.fetched_bytes as f64 / (1u64 << 30) as f64),
+            format!("{:.2}", m.evicted_bytes as f64 / (1u64 << 30) as f64),
+        ]);
+    }
+    print!("{}", table.to_ascii());
+    if let Some(csv) = args.get("csv") {
+        table
+            .save_csv(csv)
+            .map_err(|e| ArgError(format!("cannot write {csv}: {e}")))?;
+        println!("CSV written to {csv}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbc_core::bundle::Bundle;
+    use fbc_core::catalog::FileCatalog;
+
+    #[test]
+    fn compare_runs_and_writes_csv() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("fbc_cli_compare_test.trace");
+        let csv_path = dir.join("fbc_cli_compare_test.csv");
+        Trace::new(
+            FileCatalog::from_sizes(vec![5; 6]),
+            (0..20u32).map(|i| Bundle::from_raw([i % 6])).collect(),
+        )
+        .save(&trace_path)
+        .unwrap();
+        let args = Args::parse(
+            [
+                "--trace",
+                trace_path.to_str().unwrap(),
+                "--cache",
+                "15B",
+                "--policies",
+                "lru,fifo",
+                "--csv",
+                csv_path.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        run(&args).unwrap();
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.contains("LRU"));
+        assert!(csv.contains("FIFO"));
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&csv_path).ok();
+    }
+
+    #[test]
+    fn bad_policy_list_is_an_error() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("fbc_cli_compare_bad.trace");
+        Trace::new(
+            FileCatalog::from_sizes(vec![1]),
+            vec![Bundle::from_raw([0])],
+        )
+        .save(&trace_path)
+        .unwrap();
+        let args = Args::parse(
+            [
+                "--trace",
+                trace_path.to_str().unwrap(),
+                "--cache",
+                "1B",
+                "--policies",
+                "lru,wat",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(run(&args).is_err());
+        std::fs::remove_file(&trace_path).ok();
+    }
+}

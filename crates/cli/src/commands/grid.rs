@@ -1,0 +1,136 @@
+//! `fbcache grid` — replay a trace through the discrete-event data-grid
+//! (SRM + MSS + WAN) and report response times and throughput.
+
+use crate::args::{ArgError, Args};
+use crate::policies::{policy_by_name, POLICY_NAMES};
+use fbc_grid::client::{schedule_arrivals, ArrivalProcess};
+use fbc_grid::engine::{run_grid, GridConfig};
+use fbc_grid::mss::MssConfig;
+use fbc_grid::network::LinkConfig;
+use fbc_grid::srm::SrmConfig;
+use fbc_grid::time::SimDuration;
+use fbc_workload::Trace;
+
+/// Usage text for `grid`.
+pub const USAGE: &str = "\
+fbcache grid --trace <FILE> --cache <SIZE> [options]
+
+Run a trace through the discrete-event data-grid simulation.
+
+Options:
+  --trace FILE          input trace (required)
+  --cache SIZE          SRM disk-cache capacity (required)
+  --policy NAME         replacement policy [optfilebundle]
+  --rate R              Poisson arrival rate, jobs/second [2.0]
+  --arrival-seed N      arrival-process seed [1]
+  --concurrency N       jobs in service at once [4]
+  --drives N            MSS tape drives [4]
+  --mount-secs S        MSS mount latency in seconds [5]
+  --drive-mbps M        per-drive bandwidth, MB/s [60]
+  --link-ms MS          WAN latency in milliseconds [10]
+  --link-mbps M         WAN bandwidth, MB/s [125]
+";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&[
+        "trace",
+        "cache",
+        "policy",
+        "rate",
+        "arrival-seed",
+        "concurrency",
+        "drives",
+        "mount-secs",
+        "drive-mbps",
+        "link-ms",
+        "link-mbps",
+    ])?;
+    let trace_path = args.require("trace")?;
+    let cache = args.get_bytes_or("cache", 0)?;
+    if cache == 0 {
+        return Err(ArgError("missing required flag --cache".into()));
+    }
+    let policy_name = args.get("policy").unwrap_or("optfilebundle");
+    let mut policy = policy_by_name(policy_name).ok_or_else(|| {
+        ArgError(format!(
+            "unknown policy '{policy_name}' (one of: {})",
+            POLICY_NAMES.join(", ")
+        ))
+    })?;
+
+    let config = GridConfig {
+        srm: SrmConfig {
+            cache_size: cache,
+            max_concurrent_jobs: args.get_or("concurrency", 4usize)?,
+            ..SrmConfig::default()
+        },
+        mss: MssConfig {
+            drives: args.get_or("drives", 4usize)?,
+            mount_latency: SimDuration::from_secs_f64(args.get_or("mount-secs", 5.0f64)?),
+            drive_bandwidth: args.get_or("drive-mbps", 60.0f64)? * 1e6,
+        },
+        link: LinkConfig {
+            latency: SimDuration::from_secs_f64(args.get_or("link-ms", 10.0f64)? / 1e3),
+            bandwidth: args.get_or("link-mbps", 125.0f64)? * 1e6,
+        },
+    };
+    let rate: f64 = args.get_or("rate", 2.0f64)?;
+    let seed: u64 = args.get_or("arrival-seed", 1u64)?;
+
+    let trace =
+        Trace::load(trace_path).map_err(|e| ArgError(format!("cannot read {trace_path}: {e}")))?;
+    let arrivals = schedule_arrivals(&trace.requests, ArrivalProcess::Poisson { rate, seed });
+    let stats = run_grid(policy.as_mut(), &trace.catalog, &arrivals, &config);
+
+    println!("policy:            {}", policy.name());
+    println!("completed:         {}", stats.completed);
+    println!("rejected:          {}", stats.rejected);
+    println!("byte miss ratio:   {:.4}", stats.cache.byte_miss_ratio());
+    println!("mean response:     {}", stats.mean_response());
+    println!("p50 response:      {}", stats.percentile_response(0.50));
+    println!("p95 response:      {}", stats.percentile_response(0.95));
+    println!("p99 response:      {}", stats.percentile_response(0.99));
+    println!("makespan:          {}", stats.makespan);
+    println!("throughput:        {:.3} jobs/s", stats.throughput());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbc_core::bundle::Bundle;
+    use fbc_core::catalog::FileCatalog;
+
+    #[test]
+    fn grid_command_end_to_end() {
+        let path = std::env::temp_dir().join("fbc_cli_grid_test.trace");
+        Trace::new(
+            FileCatalog::from_sizes(vec![1_000_000; 4]),
+            vec![
+                Bundle::from_raw([0, 1]),
+                Bundle::from_raw([2, 3]),
+                Bundle::from_raw([0, 1]),
+            ],
+        )
+        .save(&path)
+        .unwrap();
+        let args = Args::parse(
+            [
+                "--trace",
+                path.to_str().unwrap(),
+                "--cache",
+                "4MiB",
+                "--rate",
+                "10",
+                "--mount-secs",
+                "0.5",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        run(&args).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,178 @@
+//! `fbcache run` — replay a trace through one policy and print metrics.
+
+use crate::args::{ArgError, Args};
+use crate::policies::{policy_by_name, POLICY_NAMES};
+use fbc_sim::queue::{Discipline, QueueConfig};
+use fbc_sim::runner::RunConfig;
+use fbc_workload::Trace;
+
+/// Usage text for `run`.
+pub const USAGE: &str = "\
+fbcache run --trace <FILE> --cache <SIZE> [options]
+
+Replay a trace through a replacement policy and report the paper's metrics.
+
+Options:
+  --trace FILE          input trace (required)
+  --cache SIZE          disk-cache capacity, e.g. 2GiB (required)
+  --policy NAME         replacement policy [optfilebundle]
+  --queue N             admission-queue length (1 = FCFS) [1]
+  --discipline D        fcfs | hrv | sjf (with --queue > 1) [hrv]
+";
+
+/// Parses a queue discipline name.
+pub fn parse_discipline(s: &str) -> Result<Discipline, ArgError> {
+    match s.to_ascii_lowercase().as_str() {
+        "fcfs" => Ok(Discipline::Fcfs),
+        "hrv" => Ok(Discipline::HighestRelativeValue),
+        "sjf" => Ok(Discipline::ShortestJobFirst),
+        other => Err(ArgError(format!(
+            "unknown discipline '{other}' (fcfs | hrv | sjf)"
+        ))),
+    }
+}
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&["trace", "cache", "policy", "queue", "discipline"])?;
+    let trace_path = args.require("trace")?;
+    let cache = args.get_bytes_or("cache", 0)?;
+    if cache == 0 {
+        return Err(ArgError("missing required flag --cache".into()));
+    }
+    let policy_name = args.get("policy").unwrap_or("optfilebundle");
+    let mut policy = policy_by_name(policy_name).ok_or_else(|| {
+        ArgError(format!(
+            "unknown policy '{policy_name}' (one of: {})",
+            POLICY_NAMES.join(", ")
+        ))
+    })?;
+    let queue_len: usize = args.get_or("queue", 1usize)?;
+    let discipline = parse_discipline(args.get("discipline").unwrap_or("hrv"))?;
+
+    let trace =
+        Trace::load(trace_path).map_err(|e| ArgError(format!("cannot read {trace_path}: {e}")))?;
+    let run_cfg = RunConfig::new(cache);
+    let metrics = if queue_len > 1 {
+        fbc_sim::queue::run_queued(
+            policy.as_mut(),
+            &trace,
+            &run_cfg,
+            &QueueConfig {
+                queue_len,
+                discipline,
+            },
+        )
+    } else {
+        fbc_sim::runner::run_trace(policy.as_mut(), &trace, &run_cfg)
+    };
+
+    println!("policy:              {}", policy.name());
+    println!("jobs:                {}", metrics.jobs);
+    println!("serviced:            {}", metrics.serviced);
+    println!("request hits:        {}", metrics.hits);
+    println!("request-hit ratio:   {:.4}", metrics.request_hit_ratio());
+    println!("byte miss ratio:     {:.4}", metrics.byte_miss_ratio());
+    println!("byte hit ratio:      {:.4}", metrics.byte_hit_ratio());
+    println!(
+        "bytes requested:     {}",
+        fbc_core::types::format_bytes(metrics.requested_bytes)
+    );
+    println!(
+        "bytes fetched:       {}",
+        fbc_core::types::format_bytes(metrics.fetched_bytes)
+    );
+    println!(
+        "bytes evicted:       {}",
+        fbc_core::types::format_bytes(metrics.evicted_bytes)
+    );
+    println!(
+        "volume per request:  {}",
+        fbc_core::types::format_bytes(metrics.bytes_moved_per_request() as u64)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbc_core::bundle::Bundle;
+    use fbc_core::catalog::FileCatalog;
+
+    fn write_test_trace() -> std::path::PathBuf {
+        let path = std::env::temp_dir().join("fbc_cli_run_test.trace");
+        let trace = Trace::new(
+            FileCatalog::from_sizes(vec![10, 20, 30]),
+            vec![
+                Bundle::from_raw([0, 1]),
+                Bundle::from_raw([2]),
+                Bundle::from_raw([0, 1]),
+            ],
+        );
+        trace.save(&path).unwrap();
+        path
+    }
+
+    #[test]
+    fn discipline_parsing() {
+        assert_eq!(parse_discipline("FCFS").unwrap(), Discipline::Fcfs);
+        assert_eq!(
+            parse_discipline("hrv").unwrap(),
+            Discipline::HighestRelativeValue
+        );
+        assert!(parse_discipline("lifo").is_err());
+    }
+
+    #[test]
+    fn run_command_end_to_end() {
+        let path = write_test_trace();
+        let args = Args::parse(
+            [
+                "--trace",
+                path.to_str().unwrap(),
+                "--cache",
+                "60B",
+                "--policy",
+                "lru",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        run(&args).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_cache_is_an_error() {
+        let path = write_test_trace();
+        let args = Args::parse(
+            ["--trace", path.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(run(&args).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_policy_is_an_error() {
+        let path = write_test_trace();
+        let args = Args::parse(
+            [
+                "--trace",
+                path.to_str().unwrap(),
+                "--cache",
+                "60B",
+                "--policy",
+                "nope",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(run(&args).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,181 @@
+//! # fbc-cli — the `fbcache` command-line tool
+//!
+//! A front end over the whole workspace: generate synthetic file-bundle
+//! workloads, replay traces through any replacement policy (optionally with
+//! a queued admission scheduler), compare policies side by side, run the
+//! discrete-event grid, and inspect traces.
+//!
+//! ```text
+//! fbcache generate --output wl.trace --jobs 10000 --popularity zipf
+//! fbcache info     --trace wl.trace
+//! fbcache run      --trace wl.trace --cache 2GiB --policy optfilebundle
+//! fbcache compare  --trace wl.trace --cache 2GiB --csv compare.csv
+//! fbcache grid     --trace wl.trace --cache 2GiB --rate 2.0
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod args;
+/// Subcommand implementations, one module per `fbcache <COMMAND>`.
+pub mod commands {
+    pub mod compare;
+    pub mod generate;
+    pub mod grid;
+    pub mod hybrid;
+    pub mod info;
+    pub mod multi;
+    pub mod run;
+    pub mod scenario;
+}
+pub mod policies;
+
+use args::{ArgError, Args};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+fbcache — file-bundle caching toolbox (Otoo, Rotem & Romosan, SC 2004)
+
+Usage: fbcache <COMMAND> [flags]
+
+Commands:
+  generate   generate a synthetic workload and write its trace
+  scenario   generate a domain-scenario trace (henp/climate/bitmap/federated)
+  run        replay a trace through one replacement policy
+  compare    run several policies over one trace, tabulated
+  grid       run a trace through the discrete-event data-grid
+  multi      run a trace through a multi-SRM cluster (dispatch comparison)
+  hybrid     sweep the one-file-at-a-time job fraction
+  info       summarise a trace
+  help       show this message (or 'fbcache help <COMMAND>')
+";
+
+/// Dispatches a full argument vector (without the program name).
+/// Returns an exit code.
+pub fn dispatch(argv: &[String]) -> i32 {
+    let Some(command) = argv.first() else {
+        eprint!("{USAGE}");
+        return 2;
+    };
+    let rest = argv[1..].to_vec();
+    let result: Result<(), ArgError> = match command.as_str() {
+        "generate" => parse_and(&rest, commands::generate::run),
+        "scenario" => parse_and(&rest, commands::scenario::run),
+        "run" => parse_and(&rest, commands::run::run),
+        "compare" => parse_and(&rest, commands::compare::run),
+        "grid" => parse_and(&rest, commands::grid::run),
+        "multi" => parse_and(&rest, commands::multi::run),
+        "hybrid" => parse_and(&rest, commands::hybrid::run),
+        "info" => parse_and(&rest, commands::info::run),
+        "help" | "--help" | "-h" => {
+            match rest.first().map(String::as_str) {
+                Some("generate") => print!("{}", commands::generate::USAGE),
+                Some("scenario") => print!("{}", commands::scenario::USAGE),
+                Some("run") => print!("{}", commands::run::USAGE),
+                Some("compare") => print!("{}", commands::compare::USAGE),
+                Some("grid") => print!("{}", commands::grid::USAGE),
+                Some("multi") => print!("{}", commands::multi::USAGE),
+                Some("hybrid") => print!("{}", commands::hybrid::USAGE),
+                Some("info") => print!("{}", commands::info::USAGE),
+                _ => print!("{USAGE}"),
+            }
+            return 0;
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n");
+            eprint!("{USAGE}");
+            return 2;
+        }
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn parse_and(rest: &[String], f: fn(&Args) -> Result<(), ArgError>) -> Result<(), ArgError> {
+    let args = Args::parse(rest.iter().cloned())?;
+    if args.has("help") {
+        // Let the caller print command usage via `help <cmd>` instead;
+        // here we simply succeed after printing nothing surprising.
+        return Err(ArgError("use 'fbcache help <COMMAND>' for usage".into()));
+    }
+    f(&args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_command_prints_usage_and_fails() {
+        assert_eq!(dispatch(&[]), 2);
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert_eq!(dispatch(&argv(&["frobnicate"])), 2);
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert_eq!(dispatch(&argv(&["help"])), 0);
+        assert_eq!(dispatch(&argv(&["help", "generate"])), 0);
+        assert_eq!(dispatch(&argv(&["--help"])), 0);
+    }
+
+    #[test]
+    fn command_errors_are_exit_code_one() {
+        // `run` without --trace.
+        assert_eq!(dispatch(&argv(&["run", "--cache", "1GiB"])), 1);
+    }
+
+    #[test]
+    fn full_generate_run_pipeline() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join("fbc_cli_pipeline.trace");
+        let trace_s = trace.to_str().unwrap();
+        assert_eq!(
+            dispatch(&argv(&[
+                "generate",
+                "--output",
+                trace_s,
+                "--jobs",
+                "30",
+                "--files",
+                "40",
+                "--pool",
+                "15",
+                "--cache-size",
+                "1GiB",
+            ])),
+            0
+        );
+        assert_eq!(dispatch(&argv(&["info", "--trace", trace_s])), 0);
+        assert_eq!(
+            dispatch(&argv(&[
+                "run", "--trace", trace_s, "--cache", "200MiB", "--policy", "ofb", "--queue", "5",
+            ])),
+            0
+        );
+        assert_eq!(
+            dispatch(&argv(&[
+                "compare",
+                "--trace",
+                trace_s,
+                "--cache",
+                "200MiB",
+                "--policies",
+                "lru,landlord",
+            ])),
+            0
+        );
+        std::fs::remove_file(&trace).ok();
+    }
+}

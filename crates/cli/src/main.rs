@@ -1,0 +1,6 @@
+//! The `fbcache` binary: thin wrapper around [`fbc_cli::dispatch`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(fbc_cli::dispatch(&argv));
+}

@@ -1,0 +1,153 @@
+//! Approximation-bound formulas of Theorem 4.1 and Appendix A.
+//!
+//! `OptCacheSelect` guarantees a solution of value at least
+//! `½(1 − e^{−1/d}) · v(OPT)`, where `d` is the maximum number of requests
+//! sharing a single file; partial enumeration removes the `½`. These helpers
+//! compute the factors and verify solutions against them — the property
+//! tests and the `bound_check` bench drive them over thousands of random
+//! instances.
+
+use crate::instance::FbcInstance;
+
+/// The greedy guarantee `½(1 − e^{−1/d})` of Theorem 4.1.
+///
+/// ```
+/// use fbc_core::bounds::greedy_bound;
+/// // d = 1 is the plain knapsack-like case: ½(1 − e^{−1}) ≈ 0.316.
+/// assert!((greedy_bound(1) - 0.5 * (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// ```
+pub fn greedy_bound(d: u32) -> f64 {
+    0.5 * enumerated_bound(d)
+}
+
+/// The partial-enumeration guarantee `1 − e^{−1/d}` (paper §4, improvement
+/// "by a factor of 2 … at higher computational cost").
+pub fn enumerated_bound(d: u32) -> f64 {
+    let d = d.max(1) as f64;
+    1.0 - (-1.0 / d).exp()
+}
+
+/// Report of a solution value checked against the guarantee for an instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundCheck {
+    /// Maximum file degree `d` of the instance.
+    pub d: u32,
+    /// The guaranteed fraction of optimal for the algorithm checked.
+    pub guarantee: f64,
+    /// Achieved value / optimal value (1.0 when optimal is 0).
+    pub achieved_ratio: f64,
+    /// Whether the guarantee holds (with a small numeric tolerance).
+    pub holds: bool,
+}
+
+/// Checks a greedy solution value against the Theorem 4.1 guarantee given
+/// the exact optimum value.
+pub fn check_greedy_bound(inst: &FbcInstance, greedy_value: f64, optimal_value: f64) -> BoundCheck {
+    check_against(
+        inst,
+        greedy_value,
+        optimal_value,
+        greedy_bound(inst.max_degree()),
+    )
+}
+
+/// Checks a partial-enumeration solution value against the `1 − e^{−1/d}`
+/// guarantee.
+pub fn check_enumerated_bound(inst: &FbcInstance, value: f64, optimal_value: f64) -> BoundCheck {
+    check_against(
+        inst,
+        value,
+        optimal_value,
+        enumerated_bound(inst.max_degree()),
+    )
+}
+
+fn check_against(inst: &FbcInstance, value: f64, optimal: f64, guarantee: f64) -> BoundCheck {
+    let achieved_ratio = if optimal <= 0.0 { 1.0 } else { value / optimal };
+    BoundCheck {
+        d: inst.max_degree(),
+        guarantee,
+        achieved_ratio,
+        holds: achieved_ratio + 1e-9 >= guarantee,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::solve_exact;
+    use crate::select::{opt_cache_select, SelectOptions};
+
+    #[test]
+    fn bounds_decrease_with_degree() {
+        // Larger d -> weaker guarantee.
+        let mut prev = f64::INFINITY;
+        for d in 1..20 {
+            let g = greedy_bound(d);
+            assert!(g < prev);
+            assert!(g > 0.0 && g < 0.5);
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn enumerated_is_twice_greedy() {
+        for d in 1..10 {
+            assert!((enumerated_bound(d) - 2.0 * greedy_bound(d)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degree_zero_clamps_to_one() {
+        assert_eq!(enumerated_bound(0), enumerated_bound(1));
+    }
+
+    #[test]
+    fn greedy_respects_theorem_4_1_on_random_instances() {
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut worst: f64 = 1.0;
+        for round in 0..200 {
+            let m = (next() % 10 + 2) as usize;
+            let sizes: Vec<u64> = (0..m).map(|_| next() % 20 + 1).collect();
+            let n = (next() % 10 + 1) as usize;
+            let reqs: Vec<(Vec<u32>, f64)> = (0..n)
+                .map(|_| {
+                    let k = (next() % 3 + 1) as usize;
+                    (
+                        (0..k).map(|_| (next() % m as u64) as u32).collect(),
+                        (next() % 50 + 1) as f64,
+                    )
+                })
+                .collect();
+            let inst = FbcInstance::new(next() % 80, sizes, reqs).unwrap();
+            let greedy = opt_cache_select(&inst, &SelectOptions::default());
+            let exact = solve_exact(&inst);
+            let check = check_greedy_bound(&inst, greedy.value, exact.value);
+            assert!(
+                check.holds,
+                "round {round}: ratio {} < guarantee {} (d={})",
+                check.achieved_ratio, check.guarantee, check.d
+            );
+            worst = worst.min(check.achieved_ratio);
+        }
+        // In practice the greedy is far better than the worst-case bound.
+        assert!(
+            worst > 0.3,
+            "empirical worst ratio suspiciously low: {worst}"
+        );
+    }
+
+    #[test]
+    fn zero_optimum_counts_as_satisfied() {
+        let inst = FbcInstance::new(0, vec![5], vec![(vec![0], 3.0)]).unwrap();
+        let check = check_greedy_bound(&inst, 0.0, 0.0);
+        assert!(check.holds);
+        assert_eq!(check.achieved_ratio, 1.0);
+    }
+}

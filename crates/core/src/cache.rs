@@ -1,0 +1,302 @@
+//! Disk-cache state: the set of resident files, with capacity and pinning
+//! invariants enforced at every mutation.
+//!
+//! `CacheState` is policy-agnostic — every replacement policy (OptFileBundle,
+//! Landlord, LRU, …) mutates the same structure, so the capacity invariant
+//! `used ≤ capacity` is checked in exactly one place. Pinning models the SRM
+//! behaviour of holding a job's files while the job is in service (paper §2
+//! and the grid substrate); a pinned file cannot be evicted.
+
+use crate::bundle::Bundle;
+use crate::catalog::FileCatalog;
+use crate::error::{FbcError, Result};
+use crate::types::{Bytes, FileId};
+use std::collections::HashMap;
+
+/// The set of files currently resident in the disk cache.
+#[derive(Debug, Clone)]
+pub struct CacheState {
+    capacity: Bytes,
+    used: Bytes,
+    /// Resident files mapped to `(size, pin_count)`.
+    files: HashMap<FileId, Resident>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Resident {
+    size: Bytes,
+    pins: u32,
+}
+
+impl CacheState {
+    /// Creates an empty cache of the given capacity.
+    pub fn new(capacity: Bytes) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            files: HashMap::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// Bytes currently occupied.
+    #[inline]
+    pub fn used(&self) -> Bytes {
+        self.used
+    }
+
+    /// Bytes still free.
+    #[inline]
+    pub fn free(&self) -> Bytes {
+        self.capacity - self.used
+    }
+
+    /// Number of resident files.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether no file is resident.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Whether `file` is resident.
+    #[inline]
+    pub fn contains(&self, file: FileId) -> bool {
+        self.files.contains_key(&file)
+    }
+
+    /// Whether every file of `bundle` is resident — i.e. whether the bundle
+    /// is a *request-hit* (paper §3).
+    pub fn supports(&self, bundle: &Bundle) -> bool {
+        bundle.is_subset_of(|f| self.contains(f))
+    }
+
+    /// The files of `bundle` that are *not* resident.
+    pub fn missing_of(&self, bundle: &Bundle) -> Vec<FileId> {
+        bundle.iter().filter(|&f| !self.contains(f)).collect()
+    }
+
+    /// Total bytes of `bundle`'s files that are not resident.
+    pub fn missing_bytes(&self, bundle: &Bundle, catalog: &FileCatalog) -> Bytes {
+        bundle
+            .iter()
+            .filter(|&f| !self.contains(f))
+            .map(|f| catalog.size(f))
+            .sum()
+    }
+
+    /// Inserts `file` (size taken from `catalog`).
+    ///
+    /// Fails with [`FbcError::CapacityExceeded`] if the file does not fit and
+    /// with [`FbcError::DuplicateFile`] if it is already resident — policies
+    /// are expected to check both conditions, so violations indicate bugs.
+    pub fn insert(&mut self, file: FileId, catalog: &FileCatalog) -> Result<()> {
+        let size = catalog.try_size(file)?;
+        if self.files.contains_key(&file) {
+            return Err(FbcError::DuplicateFile(file));
+        }
+        if self.used + size > self.capacity {
+            return Err(FbcError::CapacityExceeded {
+                capacity: self.capacity,
+                used: self.used,
+                requested: size,
+            });
+        }
+        self.files.insert(file, Resident { size, pins: 0 });
+        self.used += size;
+        Ok(())
+    }
+
+    /// Evicts `file`, returning its size.
+    ///
+    /// Fails if the file is not resident or is pinned.
+    pub fn evict(&mut self, file: FileId) -> Result<Bytes> {
+        match self.files.get(&file) {
+            None => Err(FbcError::NotResident(file)),
+            Some(r) if r.pins > 0 => Err(FbcError::Pinned(file)),
+            Some(r) => {
+                let size = r.size;
+                self.files.remove(&file);
+                self.used -= size;
+                Ok(size)
+            }
+        }
+    }
+
+    /// Pins `file` for the duration of a job's service; pinned files cannot
+    /// be evicted. Pins are counted, so overlapping jobs sharing a file each
+    /// hold their own pin.
+    pub fn pin(&mut self, file: FileId) -> Result<()> {
+        match self.files.get_mut(&file) {
+            None => Err(FbcError::NotResident(file)),
+            Some(r) => {
+                r.pins += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Releases one pin on `file`.
+    pub fn unpin(&mut self, file: FileId) -> Result<()> {
+        match self.files.get_mut(&file) {
+            None => Err(FbcError::NotResident(file)),
+            Some(r) => {
+                r.pins = r.pins.saturating_sub(1);
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether `file` is currently pinned.
+    pub fn is_pinned(&self, file: FileId) -> bool {
+        self.files.get(&file).is_some_and(|r| r.pins > 0)
+    }
+
+    /// Iterates over resident `(FileId, size)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, Bytes)> + '_ {
+        self.files.iter().map(|(&f, r)| (f, r.size))
+    }
+
+    /// All resident file ids (unspecified order).
+    pub fn resident_files(&self) -> Vec<FileId> {
+        self.files.keys().copied().collect()
+    }
+
+    /// Resident file ids sorted ascending — useful for deterministic output.
+    pub fn resident_files_sorted(&self) -> Vec<FileId> {
+        let mut v = self.resident_files();
+        v.sort_unstable();
+        v
+    }
+
+    /// Debug invariant: recomputes `used` from scratch and compares.
+    /// Intended for tests and `debug_assert!`s in the simulators.
+    pub fn check_invariants(&self) -> bool {
+        let sum: Bytes = self.files.values().map(|r| r.size).sum();
+        sum == self.used && self.used <= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> FileCatalog {
+        FileCatalog::from_sizes(vec![10, 20, 30, 40])
+    }
+
+    #[test]
+    fn insert_and_evict_track_usage() {
+        let c = catalog();
+        let mut cache = CacheState::new(100);
+        cache.insert(FileId(0), &c).unwrap();
+        cache.insert(FileId(2), &c).unwrap();
+        assert_eq!(cache.used(), 40);
+        assert_eq!(cache.free(), 60);
+        assert_eq!(cache.evict(FileId(0)).unwrap(), 10);
+        assert_eq!(cache.used(), 30);
+        assert!(cache.check_invariants());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let c = catalog();
+        let mut cache = CacheState::new(25);
+        cache.insert(FileId(1), &c).unwrap(); // 20
+        let err = cache.insert(FileId(0), &c).unwrap_err(); // 10 > 5 free
+        assert!(matches!(err, FbcError::CapacityExceeded { .. }));
+        assert_eq!(cache.used(), 20);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let c = catalog();
+        let mut cache = CacheState::new(100);
+        cache.insert(FileId(0), &c).unwrap();
+        assert_eq!(
+            cache.insert(FileId(0), &c),
+            Err(FbcError::DuplicateFile(FileId(0)))
+        );
+    }
+
+    #[test]
+    fn evict_nonresident_rejected() {
+        let mut cache = CacheState::new(100);
+        assert_eq!(
+            cache.evict(FileId(0)),
+            Err(FbcError::NotResident(FileId(0)))
+        );
+    }
+
+    #[test]
+    fn pinned_files_cannot_be_evicted() {
+        let c = catalog();
+        let mut cache = CacheState::new(100);
+        cache.insert(FileId(1), &c).unwrap();
+        cache.pin(FileId(1)).unwrap();
+        assert_eq!(cache.evict(FileId(1)), Err(FbcError::Pinned(FileId(1))));
+        cache.unpin(FileId(1)).unwrap();
+        assert!(cache.evict(FileId(1)).is_ok());
+    }
+
+    #[test]
+    fn pins_are_counted() {
+        let c = catalog();
+        let mut cache = CacheState::new(100);
+        cache.insert(FileId(0), &c).unwrap();
+        cache.pin(FileId(0)).unwrap();
+        cache.pin(FileId(0)).unwrap();
+        cache.unpin(FileId(0)).unwrap();
+        assert!(cache.is_pinned(FileId(0)));
+        cache.unpin(FileId(0)).unwrap();
+        assert!(!cache.is_pinned(FileId(0)));
+    }
+
+    #[test]
+    fn supports_and_missing() {
+        let c = catalog();
+        let mut cache = CacheState::new(100);
+        cache.insert(FileId(0), &c).unwrap();
+        cache.insert(FileId(1), &c).unwrap();
+        let bundle = Bundle::from_raw([0, 1, 2]);
+        assert!(!cache.supports(&bundle));
+        assert_eq!(cache.missing_of(&bundle), vec![FileId(2)]);
+        assert_eq!(cache.missing_bytes(&bundle, &c), 30);
+        cache.insert(FileId(2), &c).unwrap();
+        assert!(cache.supports(&bundle));
+        assert_eq!(cache.missing_bytes(&bundle, &c), 0);
+    }
+
+    #[test]
+    fn unknown_file_insert_fails_cleanly() {
+        let c = catalog();
+        let mut cache = CacheState::new(100);
+        assert_eq!(
+            cache.insert(FileId(99), &c),
+            Err(FbcError::UnknownFile(FileId(99)))
+        );
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn resident_files_sorted_is_deterministic() {
+        let c = catalog();
+        let mut cache = CacheState::new(100);
+        for i in [2u32, 0, 3] {
+            cache.insert(FileId(i), &c).unwrap();
+        }
+        assert_eq!(
+            cache.resident_files_sorted(),
+            vec![FileId(0), FileId(2), FileId(3)]
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Partial-enumeration improvement of `OptCacheSelect` (paper §4).
+//!
+//! The paper observes that seeding the greedy with every possible choice of
+//! `k` requests (for some small fixed `k`; `k = 2` suffices) and keeping the
+//! best completed solution improves the approximation factor from
+//! `½(1 − e^{−1/d})` to `(1 − e^{−1/d})`, following the budgeted-maximum-
+//! coverage technique of Khuller, Moss and Naor. The price is an `O(n^k)`
+//! blow-up in running time, so this variant is offered as an offline /
+//! analysis tool rather than the default online policy.
+
+use crate::instance::{FbcInstance, Selection};
+use crate::select::{best_single, greedy_shared_credit};
+
+/// Runs the partial-enumeration algorithm with seeds of size up to `k`.
+///
+/// ```
+/// use fbc_core::enumerate::opt_cache_select_enumerated;
+/// use fbc_core::instance::FbcInstance;
+///
+/// // A decoy with the best value/size ratio blocks two complementary
+/// // requests; seeding recovers the optimum the greedy misses.
+/// let inst = FbcInstance::new(
+///     10,
+///     vec![6, 5, 5],
+///     vec![(vec![0], 7.0), (vec![1], 5.0), (vec![2], 5.0)],
+/// ).unwrap();
+/// assert_eq!(opt_cache_select_enumerated(&inst, 1).value, 10.0);
+/// ```
+///
+/// For every subset `S` of at most `k` requests whose file union fits in the
+/// cache, the shared-credit greedy completes the solution on the remaining
+/// capacity; the best candidate over all seeds (including the empty seed,
+/// i.e. the plain greedy, and the best single request) is returned.
+///
+/// `k = 0` degenerates to plain `OptCacheSelect` with the shared-credit
+/// refinement.
+pub fn opt_cache_select_enumerated(inst: &FbcInstance, k: usize) -> Selection {
+    let n = inst.num_requests();
+    let mut best = greedy_shared_credit(inst, &[], inst.capacity());
+    let single = best_single(inst);
+    if single.value > best.value {
+        best = single;
+    }
+
+    if k >= 1 {
+        for i in 0..n {
+            if let Some(cand) = complete_from_seed(inst, &[i]) {
+                if cand.value > best.value {
+                    best = cand;
+                }
+            }
+        }
+    }
+    if k >= 2 {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if let Some(cand) = complete_from_seed(inst, &[i, j]) {
+                    if cand.value > best.value {
+                        best = cand;
+                    }
+                }
+            }
+        }
+    }
+    debug_assert!(k <= 2, "seeds larger than 2 are not implemented (k={k})");
+    best
+}
+
+/// Seeds the greedy with `seed`; returns `None` if the seed alone does not
+/// fit in the cache.
+fn complete_from_seed(inst: &FbcInstance, seed: &[usize]) -> Option<Selection> {
+    let seed_bytes = inst.union_size(seed);
+    if seed_bytes > inst.capacity() {
+        return None;
+    }
+    Some(greedy_shared_credit(
+        inst,
+        seed,
+        inst.capacity() - seed_bytes,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::solve_exact;
+    use crate::select::{opt_cache_select, SelectOptions};
+
+    #[test]
+    fn enumeration_never_hurts() {
+        let mut state = 0xC0FFEE123456789u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..40 {
+            let m = (next() % 8 + 2) as usize;
+            let sizes: Vec<u64> = (0..m).map(|_| next() % 20 + 1).collect();
+            let n = (next() % 9 + 1) as usize;
+            let reqs: Vec<(Vec<u32>, f64)> = (0..n)
+                .map(|_| {
+                    let k = (next() % 3 + 1) as usize;
+                    (
+                        (0..k).map(|_| (next() % m as u64) as u32).collect(),
+                        (next() % 50 + 1) as f64,
+                    )
+                })
+                .collect();
+            let inst = FbcInstance::new(next() % 60, sizes, reqs).unwrap();
+            let plain = opt_cache_select(&inst, &SelectOptions::default());
+            let e1 = opt_cache_select_enumerated(&inst, 1);
+            let e2 = opt_cache_select_enumerated(&inst, 2);
+            let exact = solve_exact(&inst);
+            assert!(e1.value + 1e-9 >= plain.value);
+            assert!(e2.value + 1e-9 >= e1.value);
+            assert!(exact.value + 1e-9 >= e2.value);
+            assert!(inst.is_feasible(&e2.chosen));
+        }
+    }
+
+    #[test]
+    fn seeding_recovers_solution_greedy_misses() {
+        // Greedy (by relative value) prefers the "decoy" request whose
+        // presence blocks the two complementary requests; a seed of either
+        // complementary request recovers the optimum.
+        //
+        // files: f0 (size 6), f1 (size 5), f2 (size 5); capacity 10.
+        // decoy r0 = {f0} v=7         v' = 7/6  ≈ 1.17
+        // r1 = {f1} v=5               v' = 1.0
+        // r2 = {f2} v=5               v' = 1.0
+        // Greedy takes r0 (6), then neither r1 nor r2 fits (5 > 4): value 7.
+        // Optimum: {r1, r2} = 10 bytes, value 10.
+        let inst = FbcInstance::new(
+            10,
+            vec![6, 5, 5],
+            vec![(vec![0], 7.0), (vec![1], 5.0), (vec![2], 5.0)],
+        )
+        .unwrap();
+        let plain = opt_cache_select(&inst, &SelectOptions::default());
+        assert_eq!(plain.value, 7.0);
+        let seeded = opt_cache_select_enumerated(&inst, 1);
+        assert_eq!(seeded.value, 10.0);
+        assert_eq!(seeded.bytes, 10);
+    }
+
+    #[test]
+    fn k2_matches_exact_on_paper_example() {
+        let inst = FbcInstance::new(
+            3,
+            vec![1; 7],
+            vec![
+                (vec![0, 2, 4], 1.0),
+                (vec![1, 5, 6], 1.0),
+                (vec![0, 4], 1.0),
+                (vec![3, 5, 6], 1.0),
+                (vec![2, 4], 1.0),
+                (vec![4, 5, 6], 1.0),
+            ],
+        )
+        .unwrap();
+        let sel = opt_cache_select_enumerated(&inst, 2);
+        let exact = solve_exact(&inst);
+        assert_eq!(sel.value, exact.value);
+    }
+
+    #[test]
+    fn infeasible_seed_is_skipped() {
+        let inst = FbcInstance::new(4, vec![10, 1], vec![(vec![0], 9.0), (vec![1], 1.0)]).unwrap();
+        let sel = opt_cache_select_enumerated(&inst, 2);
+        assert_eq!(sel.chosen, vec![1]);
+    }
+
+    #[test]
+    fn k0_equals_plain_shared_credit_with_fallback() {
+        let inst = FbcInstance::new(
+            100,
+            vec![1, 1, 100],
+            vec![(vec![0], 1.0), (vec![1], 1.0), (vec![2], 50.0)],
+        )
+        .unwrap();
+        let sel = opt_cache_select_enumerated(&inst, 0);
+        let plain = opt_cache_select(&inst, &SelectOptions::default());
+        assert_eq!(sel.value, plain.value);
+    }
+}

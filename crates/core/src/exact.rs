@@ -1,0 +1,252 @@
+//! Exact solver for small FBC instances, by branch and bound.
+//!
+//! The FBC problem is NP-hard (paper §4, reduction from Dense-k-Subgraph),
+//! so this solver is exponential in the worst case — it exists to *validate*
+//! the greedy heuristic: the test suite and the `bound_check` bench compare
+//! `OptCacheSelect`'s value against the true optimum on thousands of random
+//! small instances and check Theorem 4.1's `½(1 − e^{−1/d})` guarantee.
+//!
+//! Two prunings keep it fast for `n ≲ 24` requests:
+//!
+//! 1. *Remaining-value bound* — if the current value plus the sum of all
+//!    values still undecided cannot beat the incumbent, cut.
+//! 2. *Adjusted-size fractional bound* — by the argument of Lemma A.1, any
+//!    feasible completion's total *marginal adjusted size* is at most the
+//!    remaining capacity, so a fractional knapsack over
+//!    `(v(r), marginal adjusted size)` upper-bounds the completion value.
+
+use crate::instance::{FbcInstance, Selection};
+
+/// Hard limit on instance size; beyond this the solver refuses rather than
+/// silently running for hours.
+pub const MAX_EXACT_REQUESTS: usize = 28;
+
+/// Solves `inst` exactly. Returns the optimal selection.
+///
+/// ```
+/// use fbc_core::exact::solve_exact;
+/// use fbc_core::instance::FbcInstance;
+///
+/// // Two requests share file 1: the union {0,1,2} fits where the sum of
+/// // bundle sizes would not.
+/// let inst = FbcInstance::new(
+///     30,
+///     vec![10, 10, 10],
+///     vec![(vec![0, 1], 1.0), (vec![1, 2], 1.0)],
+/// ).unwrap();
+/// let best = solve_exact(&inst);
+/// assert_eq!(best.value, 2.0);
+/// assert_eq!(best.bytes, 30);
+/// ```
+///
+/// # Panics
+/// Panics if the instance has more than [`MAX_EXACT_REQUESTS`] requests.
+pub fn solve_exact(inst: &FbcInstance) -> Selection {
+    assert!(
+        inst.num_requests() <= MAX_EXACT_REQUESTS,
+        "exact solver limited to {MAX_EXACT_REQUESTS} requests, got {}",
+        inst.num_requests()
+    );
+
+    // Explore requests in decreasing value order so good incumbents are
+    // found early and the remaining-value bound bites.
+    let mut order: Vec<usize> = (0..inst.num_requests()).collect();
+    order.sort_by(|&a, &b| {
+        inst.requests()[b]
+            .value
+            .partial_cmp(&inst.requests()[a].value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    // Suffix sums of values in exploration order, for pruning.
+    let mut suffix = vec![0.0; order.len() + 1];
+    for i in (0..order.len()).rev() {
+        suffix[i] = suffix[i + 1] + inst.requests()[order[i]].value;
+    }
+
+    let mut search = Search {
+        inst,
+        order: &order,
+        suffix: &suffix,
+        loaded: vec![false; inst.num_files()],
+        chosen: Vec::new(),
+        best_value: -1.0,
+        best_chosen: Vec::new(),
+    };
+    search.dfs(0, inst.capacity(), 0.0);
+
+    let mut best_chosen = search.best_chosen;
+    best_chosen.sort_unstable();
+    Selection::from_chosen(inst, best_chosen)
+}
+
+/// Mutable state of the branch-and-bound search.
+struct Search<'a> {
+    inst: &'a FbcInstance,
+    /// Request indices in exploration (decreasing-value) order.
+    order: &'a [usize],
+    /// `suffix[d]` = total value of requests at depth ≥ `d`.
+    suffix: &'a [f64],
+    loaded: Vec<bool>,
+    chosen: Vec<usize>,
+    best_value: f64,
+    best_chosen: Vec<usize>,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, depth: usize, remaining: u64, value: f64) {
+        if value > self.best_value {
+            self.best_value = value;
+            self.best_chosen = self.chosen.clone();
+        }
+        if depth == self.order.len() {
+            return;
+        }
+        // Prune: even taking every remaining request cannot win.
+        if value + self.suffix[depth] <= self.best_value {
+            return;
+        }
+
+        let i = self.order[depth];
+        let req = &self.inst.requests()[i];
+        let marginal: u64 = req
+            .files()
+            .iter()
+            .filter(|&&f| !self.loaded[f as usize])
+            .map(|&f| self.inst.file_size(f))
+            .sum();
+
+        // Branch 1: take request i (if it fits).
+        if marginal <= remaining {
+            let newly: Vec<u32> = req
+                .files()
+                .iter()
+                .copied()
+                .filter(|&f| !self.loaded[f as usize])
+                .collect();
+            for &f in &newly {
+                self.loaded[f as usize] = true;
+            }
+            self.chosen.push(i);
+            let req_value = self.inst.requests()[i].value;
+            self.dfs(depth + 1, remaining - marginal, value + req_value);
+            self.chosen.pop();
+            for &f in &newly {
+                self.loaded[f as usize] = false;
+            }
+        }
+
+        // Branch 2: skip request i.
+        self.dfs(depth + 1, remaining, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{opt_cache_select, SelectOptions};
+
+    #[test]
+    fn knapsack_special_case() {
+        // Each file used by exactly one request -> plain knapsack.
+        // items: (w=3,v=4) (w=4,v=5) (w=5,v=6), capacity 7 -> take 3+4 = 9.
+        let inst = FbcInstance::new(
+            7,
+            vec![3, 4, 5],
+            vec![(vec![0], 4.0), (vec![1], 5.0), (vec![2], 6.0)],
+        )
+        .unwrap();
+        let sel = solve_exact(&inst);
+        assert_eq!(sel.value, 9.0);
+        assert_eq!(sel.chosen, vec![0, 1]);
+    }
+
+    #[test]
+    fn shared_files_make_union_cheaper_than_sum() {
+        // r0={0,1}, r1={1,2}; individually 20 bytes each, union 30 < 40.
+        let inst = FbcInstance::new(
+            30,
+            vec![10, 10, 10],
+            vec![(vec![0, 1], 1.0), (vec![1, 2], 1.0)],
+        )
+        .unwrap();
+        let sel = solve_exact(&inst);
+        assert_eq!(sel.value, 2.0);
+        assert_eq!(sel.bytes, 30);
+    }
+
+    #[test]
+    fn paper_example_optimum_is_three() {
+        let inst = FbcInstance::new(
+            3,
+            vec![1; 7],
+            vec![
+                (vec![0, 2, 4], 1.0),
+                (vec![1, 5, 6], 1.0),
+                (vec![0, 4], 1.0),
+                (vec![3, 5, 6], 1.0),
+                (vec![2, 4], 1.0),
+                (vec![4, 5, 6], 1.0),
+            ],
+        )
+        .unwrap();
+        let sel = solve_exact(&inst);
+        assert_eq!(sel.value, 3.0);
+        assert_eq!(sel.files, vec![0, 2, 4]); // {f1,f3,f5}
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = FbcInstance::new(5, vec![], vec![]).unwrap();
+        let sel = solve_exact(&inst);
+        assert_eq!(sel.value, 0.0);
+        assert!(sel.chosen.is_empty());
+    }
+
+    #[test]
+    fn exact_dominates_greedy_on_random_instances() {
+        // xorshift-based deterministic random instances.
+        let mut state = 0xDEADBEEFCAFEF00Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..100 {
+            let m = (next() % 8 + 2) as usize;
+            let sizes: Vec<u64> = (0..m).map(|_| next() % 20 + 1).collect();
+            let n = (next() % 10 + 1) as usize;
+            let reqs: Vec<(Vec<u32>, f64)> = (0..n)
+                .map(|_| {
+                    let k = (next() % 3 + 1) as usize;
+                    (
+                        (0..k).map(|_| (next() % m as u64) as u32).collect(),
+                        (next() % 50 + 1) as f64,
+                    )
+                })
+                .collect();
+            let cap = next() % 60;
+            let inst = FbcInstance::new(cap, sizes, reqs).unwrap();
+            let exact = solve_exact(&inst);
+            let greedy = opt_cache_select(&inst, &SelectOptions::default());
+            assert!(
+                exact.value + 1e-9 >= greedy.value,
+                "round {round}: exact {} < greedy {}",
+                exact.value,
+                greedy.value
+            );
+            assert!(inst.is_feasible(&exact.chosen));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exact solver limited")]
+    fn refuses_oversized_instances() {
+        let reqs: Vec<(Vec<u32>, f64)> = (0..MAX_EXACT_REQUESTS + 1)
+            .map(|_| (vec![0u32], 1.0))
+            .collect();
+        let inst = FbcInstance::new(1, vec![1], reqs).unwrap();
+        let _ = solve_exact(&inst);
+    }
+}

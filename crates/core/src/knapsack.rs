@@ -1,0 +1,222 @@
+//! 0/1 knapsack — the special case of FBC where every file is needed by
+//! exactly one request (paper §4: "in the special case that each file is
+//! needed by exactly one request the FBC problem is equivalent to the
+//! well-known knapsack problem").
+//!
+//! The dynamic program here is an independent reference implementation:
+//! the test suite cross-checks [`solve_exact`](crate::exact::solve_exact)
+//! against it on disjoint-file instances, validating both solvers.
+
+use crate::error::{FbcError, Result};
+use crate::instance::FbcInstance;
+
+/// A knapsack item: weight and value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    /// Weight (bytes, in the FBC interpretation).
+    pub weight: u64,
+    /// Value.
+    pub value: f64,
+}
+
+/// Solves 0/1 knapsack exactly by dynamic programming over capacity.
+///
+/// ```
+/// use fbc_core::knapsack::{solve_knapsack, Item};
+/// let items = [
+///     Item { weight: 3, value: 4.0 },
+///     Item { weight: 4, value: 5.0 },
+///     Item { weight: 5, value: 6.0 },
+/// ];
+/// let (chosen, value) = solve_knapsack(&items, 7).unwrap();
+/// assert_eq!((chosen, value), (vec![0, 1], 9.0));
+/// ```
+///
+/// Runs in `O(n · capacity)` time and `O(capacity)` values + `O(n ·
+/// capacity)` choice bits; `capacity` is clamped to 1 MiB of DP cells to
+/// keep accidental huge inputs from exhausting memory.
+///
+/// Returns `(chosen item indices, total value)`.
+pub fn solve_knapsack(items: &[Item], capacity: u64) -> Result<(Vec<usize>, f64)> {
+    const MAX_CELLS: u64 = 1 << 20;
+    if capacity >= MAX_CELLS {
+        return Err(FbcError::InvalidConfig(format!(
+            "knapsack DP capacity {capacity} exceeds the {MAX_CELLS}-cell safety limit"
+        )));
+    }
+    let cap = capacity as usize;
+    let n = items.len();
+    // best[w] = best value using a prefix of items at weight w.
+    let mut best = vec![0.0f64; cap + 1];
+    // take[i][w] = whether item i is taken at weight w in the optimum.
+    let mut take = vec![false; n * (cap + 1)];
+
+    for (i, item) in items.iter().enumerate() {
+        if item.weight > capacity {
+            continue;
+        }
+        let w_item = item.weight as usize;
+        // Iterate weights downward so each item is used at most once.
+        for w in (w_item..=cap).rev() {
+            let candidate = best[w - w_item] + item.value;
+            if candidate > best[w] {
+                best[w] = candidate;
+                take[i * (cap + 1) + w] = true;
+            }
+        }
+    }
+
+    // Backtrack.
+    let mut chosen = Vec::new();
+    let mut w = cap;
+    for i in (0..n).rev() {
+        if take[i * (cap + 1) + w] {
+            chosen.push(i);
+            w -= items[i].weight as usize;
+        }
+    }
+    chosen.reverse();
+    let value = best[cap];
+    Ok((chosen, value))
+}
+
+/// Interprets a *disjoint-file* FBC instance as knapsack items (one item
+/// per request, weight = total bundle size). Errors if any file is shared
+/// between requests — then the instance is genuinely harder than knapsack.
+pub fn fbc_as_knapsack(inst: &FbcInstance) -> Result<Vec<Item>> {
+    let mut owner = vec![None::<usize>; inst.num_files()];
+    for (i, req) in inst.requests().iter().enumerate() {
+        for &f in req.files() {
+            match owner[f as usize] {
+                None => owner[f as usize] = Some(i),
+                Some(other) if other == i => {}
+                Some(other) => {
+                    return Err(FbcError::InvalidConfig(format!(
+                        "file {f} is shared by requests {other} and {i}; not a knapsack instance"
+                    )))
+                }
+            }
+        }
+    }
+    Ok((0..inst.num_requests())
+        .map(|i| Item {
+            weight: inst.request_size(i),
+            value: inst.requests()[i].value,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::solve_exact;
+
+    #[test]
+    fn textbook_instance() {
+        // (w,v): (3,4) (4,5) (5,6), cap 7 -> 4+5 = 9.
+        let items = [
+            Item {
+                weight: 3,
+                value: 4.0,
+            },
+            Item {
+                weight: 4,
+                value: 5.0,
+            },
+            Item {
+                weight: 5,
+                value: 6.0,
+            },
+        ];
+        let (chosen, value) = solve_knapsack(&items, 7).unwrap();
+        assert_eq!(chosen, vec![0, 1]);
+        assert_eq!(value, 9.0);
+    }
+
+    #[test]
+    fn zero_capacity_and_oversized_items() {
+        let items = [Item {
+            weight: 5,
+            value: 10.0,
+        }];
+        let (chosen, value) = solve_knapsack(&items, 0).unwrap();
+        assert!(chosen.is_empty());
+        assert_eq!(value, 0.0);
+        let (chosen, _) = solve_knapsack(&items, 4).unwrap();
+        assert!(chosen.is_empty());
+    }
+
+    #[test]
+    fn dp_matches_branch_and_bound_on_disjoint_instances() {
+        let mut state = 0x6A5Bu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..60 {
+            // Disjoint instance: request i owns files 2i and 2i+1.
+            let n = (next() % 10 + 1) as usize;
+            let sizes: Vec<u64> = (0..2 * n).map(|_| next() % 15 + 1).collect();
+            let requests: Vec<(Vec<u32>, f64)> = (0..n)
+                .map(|i| {
+                    (
+                        vec![2 * i as u32, 2 * i as u32 + 1],
+                        (next() % 40 + 1) as f64,
+                    )
+                })
+                .collect();
+            let cap = next() % 100;
+            let inst = FbcInstance::new(cap, sizes, requests).unwrap();
+            let items = fbc_as_knapsack(&inst).unwrap();
+            let (_, dp_value) = solve_knapsack(&items, cap).unwrap();
+            let bb = solve_exact(&inst);
+            assert!(
+                (dp_value - bb.value).abs() < 1e-9,
+                "DP {dp_value} != B&B {}",
+                bb.value
+            );
+        }
+    }
+
+    #[test]
+    fn shared_file_instances_are_rejected() {
+        let inst =
+            FbcInstance::new(10, vec![1, 1], vec![(vec![0, 1], 1.0), (vec![0], 1.0)]).unwrap();
+        assert!(fbc_as_knapsack(&inst).is_err());
+    }
+
+    #[test]
+    fn huge_capacity_rejected() {
+        let items = [Item {
+            weight: 1,
+            value: 1.0,
+        }];
+        assert!(solve_knapsack(&items, u64::MAX).is_err());
+    }
+
+    #[test]
+    fn sharing_makes_fbc_beat_knapsack_weights() {
+        // With sharing, the union is cheaper than the sum of weights — the
+        // knapsack view (if it ignored sharing) would under-select. Verify
+        // the exact FBC optimum exceeds the knapsack optimum computed on
+        // naive full weights.
+        let inst = FbcInstance::new(
+            30,
+            vec![10, 10, 10],
+            vec![(vec![0, 1], 5.0), (vec![1, 2], 5.0)],
+        )
+        .unwrap();
+        let naive_items: Vec<Item> = (0..2)
+            .map(|i| Item {
+                weight: inst.request_size(i),
+                value: inst.requests()[i].value,
+            })
+            .collect();
+        let (_, naive) = solve_knapsack(&naive_items, 30).unwrap();
+        let fbc = solve_exact(&inst);
+        assert_eq!(naive, 5.0); // 20+20 > 30: only one "item" fits
+        assert_eq!(fbc.value, 10.0); // union {0,1,2} = 30 fits both
+    }
+}

@@ -1,0 +1,237 @@
+//! The uniform interface every bundle-aware replacement policy implements,
+//! plus shared servicing helpers.
+//!
+//! A policy is driven one request at a time: the simulator hands it the
+//! arriving bundle, the cache and the catalog; the policy decides what to
+//! evict, fetches the missing files, and reports an accounting
+//! [`RequestOutcome`] from which all metrics (byte miss ratio, request-hit
+//! ratio, volume moved per request) are derived.
+
+use crate::bundle::Bundle;
+use crate::cache::CacheState;
+use crate::catalog::FileCatalog;
+use crate::types::{Bytes, FileId};
+
+/// Accounting record for one serviced request.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RequestOutcome {
+    /// Whether every file was already resident (a *request-hit*, paper §3).
+    pub hit: bool,
+    /// Whether the request could be serviced at all. False only when the
+    /// bundle is larger than the entire cache.
+    pub serviced: bool,
+    /// Total size of the files the request asked for.
+    pub requested_bytes: Bytes,
+    /// Bytes fetched from mass storage to service this request (its cache
+    /// misses, plus any prefetching the policy chose to do).
+    pub fetched_bytes: Bytes,
+    /// Files fetched.
+    pub fetched_files: Vec<FileId>,
+    /// Bytes evicted to make room.
+    pub evicted_bytes: Bytes,
+    /// Files evicted.
+    pub evicted_files: Vec<FileId>,
+    /// Whether the missing data was *streamed* to the job without being
+    /// admitted into the cache (admission-control bypass). When set, the
+    /// bundle need not be resident after service; `fetched_bytes` still
+    /// counts the mass-storage traffic.
+    pub streamed: bool,
+}
+
+/// A cache replacement policy driven by file-bundle requests.
+pub trait CachePolicy {
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &str;
+
+    /// Services one request against the cache: makes room, fetches missing
+    /// files, updates internal bookkeeping, and returns the accounting.
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome;
+
+    /// Offline hook: policies that need future knowledge (e.g. Belady MIN)
+    /// receive the full trace before the run starts. Online policies ignore
+    /// it.
+    fn prepare(&mut self, _trace: &[Bundle]) {}
+
+    /// Clears internal state so the policy can be reused for another run.
+    fn reset(&mut self);
+}
+
+impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        (**self).handle(bundle, cache, catalog)
+    }
+
+    fn prepare(&mut self, trace: &[Bundle]) {
+        (**self).prepare(trace)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+/// Services `bundle` using a caller-supplied victim chooser, centralising
+/// the hit/fetch/evict accounting shared by most baseline policies.
+///
+/// `choose_victim` is called while more space is needed; it must return a
+/// resident, unpinned file that is *not* part of `bundle`, or `None` when it
+/// has no candidate left (in which case the request goes unserviced — with
+/// well-formed policies this only happens when pins block eviction).
+pub fn service_with_evictor<F>(
+    bundle: &Bundle,
+    cache: &mut CacheState,
+    catalog: &FileCatalog,
+    mut choose_victim: F,
+) -> RequestOutcome
+where
+    F: FnMut(&CacheState) -> Option<FileId>,
+{
+    let requested_bytes = bundle.total_size(catalog);
+    let mut outcome = RequestOutcome {
+        requested_bytes,
+        serviced: true,
+        ..RequestOutcome::default()
+    };
+
+    if cache.supports(bundle) {
+        outcome.hit = true;
+        return outcome;
+    }
+    if requested_bytes > cache.capacity() {
+        outcome.serviced = false;
+        return outcome;
+    }
+
+    let missing = cache.missing_of(bundle);
+    let missing_bytes: Bytes = missing.iter().map(|&f| catalog.size(f)).sum();
+
+    while cache.free() < missing_bytes {
+        match choose_victim(cache) {
+            Some(victim) => {
+                debug_assert!(
+                    !bundle.contains(victim),
+                    "policy tried to evict a file of the request being serviced"
+                );
+                match cache.evict(victim) {
+                    Ok(size) => {
+                        outcome.evicted_bytes += size;
+                        outcome.evicted_files.push(victim);
+                    }
+                    Err(_) => {
+                        // Pinned or raced; the chooser must move on, but a
+                        // chooser that repeats a bad victim would loop — bail.
+                        outcome.serviced = false;
+                        return outcome;
+                    }
+                }
+            }
+            None => {
+                outcome.serviced = false;
+                return outcome;
+            }
+        }
+    }
+
+    for f in missing {
+        cache
+            .insert(f, catalog)
+            .expect("space was reserved by the eviction loop");
+        outcome.fetched_bytes += catalog.size(f);
+        outcome.fetched_files.push(f);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (FileCatalog, CacheState) {
+        let catalog = FileCatalog::from_sizes(vec![10, 20, 30, 40]);
+        let cache = CacheState::new(60);
+        (catalog, cache)
+    }
+
+    #[test]
+    fn hit_requires_no_work() {
+        let (catalog, mut cache) = setup();
+        cache.insert(FileId(0), &catalog).unwrap();
+        cache.insert(FileId(1), &catalog).unwrap();
+        let out = service_with_evictor(&Bundle::from_raw([0, 1]), &mut cache, &catalog, |_| None);
+        assert!(out.hit && out.serviced);
+        assert_eq!(out.fetched_bytes, 0);
+        assert_eq!(out.evicted_bytes, 0);
+        assert_eq!(out.requested_bytes, 30);
+    }
+
+    #[test]
+    fn cold_fetch_without_eviction() {
+        let (catalog, mut cache) = setup();
+        let out = service_with_evictor(&Bundle::from_raw([0, 2]), &mut cache, &catalog, |_| None);
+        assert!(!out.hit && out.serviced);
+        assert_eq!(out.fetched_bytes, 40);
+        assert_eq!(out.fetched_files.len(), 2);
+        assert!(cache.supports(&Bundle::from_raw([0, 2])));
+    }
+
+    #[test]
+    fn eviction_makes_room() {
+        let (catalog, mut cache) = setup();
+        cache.insert(FileId(3), &catalog).unwrap(); // 40 bytes
+                                                    // Request {1,2} needs 50; free = 20, must evict f3.
+        let out = service_with_evictor(&Bundle::from_raw([1, 2]), &mut cache, &catalog, |c| {
+            c.resident_files_sorted()
+                .into_iter()
+                .find(|&f| !Bundle::from_raw([1, 2]).contains(f))
+        });
+        assert!(out.serviced && !out.hit);
+        assert_eq!(out.evicted_files, vec![FileId(3)]);
+        assert_eq!(out.fetched_bytes, 50);
+        assert!(cache.check_invariants());
+    }
+
+    #[test]
+    fn oversized_bundle_goes_unserviced() {
+        let (catalog, mut cache) = setup();
+        // f2 + f3 = 70 > capacity 60.
+        let out = service_with_evictor(&Bundle::from_raw([2, 3]), &mut cache, &catalog, |_| None);
+        assert!(!out.serviced);
+        assert_eq!(out.fetched_bytes, 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn chooser_exhaustion_reports_unserviced() {
+        let (catalog, mut cache) = setup();
+        cache.insert(FileId(3), &catalog).unwrap();
+        cache.pin(FileId(3)).unwrap();
+        // Needs eviction but the chooser has nothing evictable.
+        let out = service_with_evictor(&Bundle::from_raw([1, 2]), &mut cache, &catalog, |_| None);
+        assert!(!out.serviced);
+        assert_eq!(out.evicted_bytes, 0);
+    }
+
+    #[test]
+    fn partial_residency_fetches_only_missing() {
+        let (catalog, mut cache) = setup();
+        cache.insert(FileId(1), &catalog).unwrap();
+        let out = service_with_evictor(&Bundle::from_raw([0, 1]), &mut cache, &catalog, |_| None);
+        assert!(out.serviced && !out.hit);
+        assert_eq!(out.fetched_files, vec![FileId(0)]);
+        assert_eq!(out.fetched_bytes, 10);
+    }
+}

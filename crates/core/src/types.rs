@@ -1,0 +1,105 @@
+//! Fundamental identifier and size types shared across the workspace.
+//!
+//! The simulation never touches file *contents* — only metadata (sizes,
+//! identities) — so files are represented by a compact [`FileId`] and a size
+//! in bytes. Keeping `FileId` at 4 bytes matters: bundles, histories and
+//! cache states store millions of them during large parameter sweeps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of bytes. All sizes and capacities in the workspace use this alias.
+pub type Bytes = u64;
+
+/// One kibibyte (2^10 bytes).
+pub const KIB: Bytes = 1 << 10;
+/// One mebibyte (2^20 bytes). The paper's minimum file size is 1 MB.
+pub const MIB: Bytes = 1 << 20;
+/// One gibibyte (2^30 bytes). Data-grid caches are typically 100s of GB.
+pub const GIB: Bytes = 1 << 30;
+/// One tebibyte (2^40 bytes).
+pub const TIB: Bytes = 1 << 40;
+
+/// Identifier of a file known to a [`FileCatalog`](crate::catalog::FileCatalog).
+///
+/// `FileId`s are dense indices assigned by the catalog in registration order,
+/// which lets most per-file tables be plain vectors instead of hash maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+impl FileId {
+    /// The dense index of this file, usable directly as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl From<u32> for FileId {
+    fn from(v: u32) -> Self {
+        FileId(v)
+    }
+}
+
+/// Formats a byte count with a binary-unit suffix for human-readable reports.
+///
+/// ```
+/// use fbc_core::types::{format_bytes, MIB};
+/// assert_eq!(format_bytes(3 * MIB / 2), "1.50 MiB");
+/// assert_eq!(format_bytes(512), "512 B");
+/// ```
+pub fn format_bytes(b: Bytes) -> String {
+    const UNITS: [(&str, Bytes); 4] = [("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)];
+    for (name, unit) in UNITS {
+        if b >= unit {
+            return format!("{:.2} {}", b as f64 / unit as f64, name);
+        }
+    }
+    format!("{} B", b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_id_roundtrip() {
+        let id = FileId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(FileId::from(42u32), id);
+        assert_eq!(id.to_string(), "f42");
+    }
+
+    #[test]
+    fn file_id_ordering_follows_raw_value() {
+        assert!(FileId(1) < FileId(2));
+        assert!(FileId(100) > FileId(99));
+    }
+
+    #[test]
+    fn byte_constants_are_powers_of_two() {
+        assert_eq!(MIB, 1024 * KIB);
+        assert_eq!(GIB, 1024 * MIB);
+        assert_eq!(TIB, 1024 * GIB);
+    }
+
+    #[test]
+    fn format_bytes_picks_largest_unit() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(1023), "1023 B");
+        assert_eq!(format_bytes(KIB), "1.00 KiB");
+        assert_eq!(format_bytes(5 * GIB), "5.00 GiB");
+        assert_eq!(format_bytes(2 * TIB + TIB / 2), "2.50 TiB");
+    }
+
+    #[test]
+    fn file_id_is_small() {
+        assert_eq!(std::mem::size_of::<FileId>(), 4);
+    }
+}

@@ -1,0 +1,224 @@
+//! Property-based tests of the core data structures against reference
+//! models (naive recomputation).
+
+use fbc_core::bundle::Bundle;
+use fbc_core::cache::CacheState;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::history::{RequestHistory, ValueFn};
+use fbc_core::index::SupportIndex;
+use fbc_core::types::FileId;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn small_bundle() -> impl Strategy<Value = Bundle> {
+    proptest::collection::vec(0u32..16, 1..=5).prop_map(Bundle::from_raw)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Canonicalisation: construction order never matters.
+    #[test]
+    fn bundle_canonicalisation_is_order_insensitive(mut ids in proptest::collection::vec(0u32..64, 1..=8)) {
+        let a = Bundle::from_raw(ids.iter().copied());
+        ids.reverse();
+        let b = Bundle::from_raw(ids.iter().copied());
+        prop_assert_eq!(&a, &b);
+        // Idempotent: rebuilding from the canonical list is identity.
+        let c = Bundle::new(a.iter());
+        prop_assert_eq!(&a, &c);
+        // Sorted and unique.
+        prop_assert!(a.files().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// `intersects` agrees with the set-theoretic definition.
+    #[test]
+    fn bundle_intersection_matches_sets(a in small_bundle(), b in small_bundle()) {
+        let sa: HashSet<FileId> = a.iter().collect();
+        let sb: HashSet<FileId> = b.iter().collect();
+        prop_assert_eq!(a.intersects(&b), !sa.is_disjoint(&sb));
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    /// History degrees always equal a from-scratch recount, under an
+    /// arbitrary record/forget interleaving.
+    #[test]
+    fn history_degrees_match_recount(ops in proptest::collection::vec(
+        (small_bundle(), proptest::bool::ANY), 1..60)) {
+        let mut h = RequestHistory::new();
+        let mut live: Vec<Bundle> = Vec::new();
+        for (bundle, forget) in ops {
+            if forget && !live.is_empty() {
+                let victim = live.swap_remove(0);
+                h.forget(&victim);
+            } else {
+                h.record(&bundle);
+                if !live.contains(&bundle) {
+                    live.push(bundle);
+                }
+            }
+            // Recount degrees from the live set.
+            let mut expect: HashMap<FileId, u32> = HashMap::new();
+            for b in &live {
+                for f in b.iter() {
+                    *expect.entry(f).or_insert(0) += 1;
+                }
+            }
+            for f in 0..16u32 {
+                prop_assert_eq!(
+                    h.degree(FileId(f)),
+                    expect.get(&FileId(f)).copied().unwrap_or(0)
+                );
+            }
+        }
+    }
+
+    /// Counting values equal occurrence counts; decayed values never exceed
+    /// them and never go negative.
+    #[test]
+    fn decayed_values_bounded_by_counts(bundles in proptest::collection::vec(small_bundle(), 1..40)) {
+        let mut count_h = RequestHistory::new();
+        let mut decay_h = RequestHistory::with_value_fn(ValueFn::Decay { half_life: 4.0 });
+        for b in &bundles {
+            count_h.record(b);
+            decay_h.record(b);
+        }
+        for b in &bundles {
+            let c = count_h.value_of(b).unwrap();
+            let d = decay_h.value_of(b).unwrap();
+            prop_assert!(d > 0.0);
+            prop_assert!(d <= c + 1e-9, "decayed {d} > count {c}");
+        }
+    }
+
+    /// The cache's byte accounting matches a reference model under any
+    /// insert/evict/pin sequence.
+    #[test]
+    fn cache_accounting_matches_model(ops in proptest::collection::vec(
+        (0u32..12, 0u8..4), 1..80)) {
+        let catalog = FileCatalog::from_sizes((1..=12).collect());
+        let mut cache = CacheState::new(30);
+        let mut model: HashMap<FileId, u64> = HashMap::new();
+        let mut pins: HashMap<FileId, u32> = HashMap::new();
+        for (raw, op) in ops {
+            let f = FileId(raw);
+            match op {
+                0 => {
+                    let size = catalog.size(f);
+                    let used: u64 = model.values().sum();
+                    let ok = cache.insert(f, &catalog).is_ok();
+                    let expect = !model.contains_key(&f) && used + size <= 30;
+                    prop_assert_eq!(ok, expect);
+                    if ok { model.insert(f, size); }
+                }
+                1 => {
+                    let ok = cache.evict(f).is_ok();
+                    let expect = model.contains_key(&f)
+                        && pins.get(&f).copied().unwrap_or(0) == 0;
+                    prop_assert_eq!(ok, expect);
+                    if ok { model.remove(&f); }
+                }
+                2 => {
+                    if cache.pin(f).is_ok() {
+                        *pins.entry(f).or_insert(0) += 1;
+                    }
+                }
+                _ => {
+                    if cache.unpin(f).is_ok() {
+                        if let Some(p) = pins.get_mut(&f) {
+                            *p = p.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(cache.used(), model.values().sum::<u64>());
+            prop_assert!(cache.check_invariants());
+        }
+    }
+
+    /// The support index agrees with brute-force support computation under
+    /// arbitrary record/insert/evict interleavings.
+    #[test]
+    fn support_index_matches_bruteforce(ops in proptest::collection::vec(
+        (small_bundle(), 0u8..3), 1..60)) {
+        let mut index = SupportIndex::new();
+        let mut recorded: Vec<Bundle> = Vec::new();
+        let mut resident: HashSet<FileId> = HashSet::new();
+        for (bundle, op) in ops {
+            match op {
+                0 => {
+                    index.on_record(&bundle);
+                    if !recorded.contains(&bundle) {
+                        recorded.push(bundle);
+                    }
+                }
+                1 => {
+                    for f in bundle.iter() {
+                        index.on_insert(f);
+                        resident.insert(f);
+                    }
+                }
+                _ => {
+                    for f in bundle.iter() {
+                        index.on_evict(f);
+                        resident.remove(&f);
+                    }
+                }
+            }
+            let got: HashSet<Bundle> = index.supported().into_iter().cloned().collect();
+            let expect: HashSet<Bundle> = recorded
+                .iter()
+                .filter(|b| b.is_subset_of(|f| resident.contains(&f)))
+                .cloned()
+                .collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    /// Lemma A.1 (Appendix A): for ANY feasible solution — in particular
+    /// the exact optimum — the total *adjusted* size of its requests'
+    /// bundles is at most the cache size.
+    #[test]
+    fn lemma_a1_adjusted_sizes_bounded_by_capacity(
+        sizes in proptest::collection::vec(1u64..20, 2..10),
+        raw_requests in proptest::collection::vec(
+            (proptest::collection::vec(0u32..10, 1..=3), 1u32..50), 1..10),
+        cap in 0u64..80,
+    ) {
+        use fbc_core::exact::solve_exact;
+        use fbc_core::instance::FbcInstance;
+        let m = sizes.len() as u32;
+        let requests: Vec<(Vec<u32>, f64)> = raw_requests
+            .into_iter()
+            .map(|(files, v)| {
+                (files.into_iter().map(|f| f % m).collect(), v as f64)
+            })
+            .collect();
+        let inst = FbcInstance::new(cap, sizes, requests).unwrap();
+        let opt = solve_exact(&inst);
+        let total_adjusted: f64 = opt
+            .chosen
+            .iter()
+            .map(|&i| inst.request_adjusted_size(i))
+            .sum();
+        prop_assert!(
+            total_adjusted <= cap as f64 + 1e-9,
+            "Lemma A.1 violated: {total_adjusted} > {cap}"
+        );
+    }
+
+    /// Relative value scales linearly with the value and inversely with
+    /// adjusted size: recording a bundle again strictly increases its
+    /// relative value (counts grow, denominators fixed).
+    #[test]
+    fn relative_value_grows_with_recurrence(b in small_bundle()) {
+        let catalog = FileCatalog::from_sizes(vec![100; 16]);
+        let mut h = RequestHistory::new();
+        h.record(&b);
+        let v1 = h.relative_value(&b, &catalog);
+        h.record(&b);
+        let v2 = h.relative_value(&b, &catalog);
+        prop_assert!(v2 > v1);
+        prop_assert!((v2 / v1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,85 @@
+//! End-to-end statistics of a grid simulation: job response times,
+//! throughput, and the underlying cache metrics.
+
+use crate::time::SimDuration;
+use fbc_sim::metrics::Metrics;
+
+/// Results of one grid run.
+#[derive(Debug, Clone, Default)]
+pub struct GridStats {
+    /// Cache-level accounting (hits, bytes fetched, …).
+    pub cache: Metrics,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs rejected (bundle larger than the entire cache).
+    pub rejected: u64,
+    /// Response time (arrival → completion) of every completed job, in
+    /// completion order.
+    pub response_times: Vec<SimDuration>,
+    /// Virtual time at which the last job completed.
+    pub makespan: SimDuration,
+}
+
+impl GridStats {
+    /// Mean response time, or zero when nothing completed.
+    pub fn mean_response(&self) -> SimDuration {
+        if self.response_times.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u64 = self.response_times.iter().map(|d| d.micros()).sum();
+        SimDuration(total / self.response_times.len() as u64)
+    }
+
+    /// The `p`-th percentile response time (`0.0 ..= 1.0`), nearest-rank.
+    pub fn percentile_response(&self, p: f64) -> SimDuration {
+        if self.response_times.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut sorted = self.response_times.clone();
+        sorted.sort_unstable();
+        let rank = ((p.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank]
+    }
+
+    /// Completed jobs per second of virtual time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_time_summaries() {
+        let s = GridStats {
+            response_times: vec![
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(3),
+                SimDuration::from_secs(2),
+            ],
+            completed: 3,
+            makespan: SimDuration::from_secs(6),
+            ..GridStats::default()
+        };
+        assert_eq!(s.mean_response(), SimDuration::from_secs(2));
+        assert_eq!(s.percentile_response(0.0), SimDuration::from_secs(1));
+        assert_eq!(s.percentile_response(1.0), SimDuration::from_secs(3));
+        assert_eq!(s.percentile_response(0.5), SimDuration::from_secs(2));
+        assert!((s.throughput() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = GridStats::default();
+        assert_eq!(s.mean_response(), SimDuration::ZERO);
+        assert_eq!(s.percentile_response(0.5), SimDuration::ZERO);
+        assert_eq!(s.throughput(), 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the grid substrate components.
+
+use fbc_grid::event::EventQueue;
+use fbc_grid::mss::{MassStorage, MssConfig};
+use fbc_grid::network::{Link, LinkConfig};
+use fbc_grid::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The event queue pops in non-decreasing time order with FIFO ties,
+    /// for any schedule-at-time-zero batch.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1000, 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(x) = q.pop() {
+            popped.push(x);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                // FIFO among ties: sequence numbers increase.
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+    }
+
+    /// Link transfers never complete before `now + latency + bytes/bw` and
+    /// are FIFO: completion times are non-decreasing in submission order.
+    #[test]
+    fn link_transfers_are_causal_and_fifo(sizes in proptest::collection::vec(1u64..10_000_000, 1..30)) {
+        let config = LinkConfig {
+            latency: SimDuration::from_millis(5),
+            bandwidth: 1e6,
+        };
+        let mut link = Link::new(config);
+        let mut prev = SimTime::ZERO;
+        let mut carried = 0u64;
+        for &bytes in &sizes {
+            let done = link.schedule_transfer(SimTime::ZERO, bytes);
+            let min = SimTime::ZERO + link.transfer_time(bytes);
+            prop_assert!(done >= min);
+            prop_assert!(done >= prev);
+            prev = done;
+            carried += bytes;
+        }
+        prop_assert_eq!(link.bytes_carried(), carried);
+    }
+
+    /// With `d` drives, the MSS completes any batch submitted at t=0 no
+    /// later than a single drive would, and no earlier than the work
+    /// conservation bound (total service / d).
+    #[test]
+    fn mss_parallelism_is_work_conserving(
+        sizes in proptest::collection::vec(1u64..5_000_000, 1..20),
+        drives in 1usize..6,
+    ) {
+        let config = |d: usize| MssConfig {
+            drives: d,
+            mount_latency: SimDuration::from_millis(100),
+            drive_bandwidth: 1e6,
+        };
+        let run = |d: usize| {
+            let mut mss = MassStorage::new(config(d));
+            sizes
+                .iter()
+                .map(|&b| mss.schedule_fetch(SimTime::ZERO, b))
+                .max()
+                .unwrap()
+        };
+        let single = run(1);
+        let multi = run(drives);
+        prop_assert!(multi <= single);
+        // Work conservation: total busy time / drives lower-bounds makespan.
+        let total_micros: u64 = sizes
+            .iter()
+            .map(|&b| MassStorage::new(config(1)).service_time(b).micros())
+            .sum();
+        prop_assert!(multi.micros() >= total_micros / drives as u64);
+    }
+
+    /// Arrival processes are monotone in time and preserve job order.
+    #[test]
+    fn arrivals_are_monotone(n in 1usize..60, rate in 0.1f64..100.0, seed: u64) {
+        use fbc_core::bundle::Bundle;
+        use fbc_grid::client::{schedule_arrivals, ArrivalProcess};
+        let jobs: Vec<Bundle> = (0..n as u32).map(|i| Bundle::from_raw([i])).collect();
+        let arr = schedule_arrivals(&jobs, ArrivalProcess::Poisson { rate, seed });
+        prop_assert_eq!(arr.len(), n);
+        for w in arr.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        for (i, a) in arr.iter().enumerate() {
+            prop_assert_eq!(&a.bundle, &jobs[i]);
+        }
+    }
+}

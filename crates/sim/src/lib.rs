@@ -1,0 +1,40 @@
+//! # fbc-sim — the disk-cache simulation model (`cacheSim`)
+//!
+//! Reproduction of the paper's §5 simulator: trace-driven runs of any
+//! [`fbc_core::policy::CachePolicy`] over a [`fbc_workload::Trace`], with
+//! the §1.2 metrics, queued admission (§5.2) and parallel parameter sweeps.
+//!
+//! ```
+//! use fbc_core::optfilebundle::OptFileBundle;
+//! use fbc_sim::runner::{run_trace, RunConfig};
+//! use fbc_workload::{Workload, WorkloadConfig};
+//!
+//! let trace = Workload::generate(WorkloadConfig {
+//!     jobs: 500,
+//!     ..WorkloadConfig::default()
+//! })
+//! .into_trace();
+//! let mut policy = OptFileBundle::new();
+//! let metrics = run_trace(&mut policy, &trace, &RunConfig::new(10 * fbc_core::types::GIB));
+//! assert!(metrics.byte_miss_ratio() <= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod hybrid;
+pub mod metrics;
+pub mod queue;
+pub mod replicate;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+
+pub use compare::{compare_policies, PolicyComparison};
+pub use hybrid::{run_hybrid, HybridMetrics, ServiceModel};
+pub use metrics::{Metrics, SeriesPoint};
+pub use queue::{run_queued, Discipline, QueueConfig};
+pub use replicate::{replicate, Replicated};
+pub use report::Table;
+pub use runner::{run_jobs, run_trace, RunConfig};
+pub use sweep::{default_threads, parallel_sweep};

@@ -1,0 +1,233 @@
+//! Performance metrics of §1.2, accumulated over a simulation run.
+//!
+//! The paper's headline metric is the **byte miss ratio**: the fraction of
+//! requested bytes that had to be moved into the cache from mass storage.
+//! Fig. 8 additionally reports the **average volume of data moved per
+//! request**. Both derive from the same accumulator.
+
+use fbc_core::policy::RequestOutcome;
+use serde::{Deserialize, Serialize};
+
+/// One point of a windowed metric series (for figure curves).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Number of jobs processed up to and including this window.
+    pub jobs: u64,
+    /// Byte miss ratio within the window.
+    pub byte_miss_ratio: f64,
+    /// Request-hit ratio within the window.
+    pub request_hit_ratio: f64,
+}
+
+/// Accumulated metrics for one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Jobs submitted.
+    pub jobs: u64,
+    /// Jobs actually serviced (excludes bundles larger than the cache).
+    pub serviced: u64,
+    /// Request-hits: jobs that found all their files resident.
+    pub hits: u64,
+    /// Total bytes requested.
+    pub requested_bytes: u64,
+    /// Total bytes moved into the cache from mass storage.
+    pub fetched_bytes: u64,
+    /// Total bytes evicted.
+    pub evicted_bytes: u64,
+    /// Optional windowed series.
+    pub series: Vec<SeriesPoint>,
+    window: Option<WindowState>,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct WindowState {
+    size: u64,
+    jobs: u64,
+    hits: u64,
+    requested: u64,
+    fetched: u64,
+}
+
+impl Metrics {
+    /// A fresh accumulator without series recording.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh accumulator that records a [`SeriesPoint`] every
+    /// `window` jobs.
+    pub fn with_series_window(window: u64) -> Self {
+        assert!(window > 0, "series window must be positive");
+        Self {
+            window: Some(WindowState {
+                size: window,
+                ..WindowState::default()
+            }),
+            ..Self::default()
+        }
+    }
+
+    /// Folds one request outcome into the totals.
+    pub fn record(&mut self, outcome: &RequestOutcome) {
+        self.jobs += 1;
+        if outcome.serviced {
+            self.serviced += 1;
+        }
+        if outcome.hit {
+            self.hits += 1;
+        }
+        self.requested_bytes += outcome.requested_bytes;
+        self.fetched_bytes += outcome.fetched_bytes;
+        self.evicted_bytes += outcome.evicted_bytes;
+
+        if let Some(w) = &mut self.window {
+            w.jobs += 1;
+            if outcome.hit {
+                w.hits += 1;
+            }
+            w.requested += outcome.requested_bytes;
+            w.fetched += outcome.fetched_bytes;
+            if w.jobs == w.size {
+                let point = SeriesPoint {
+                    jobs: self.jobs,
+                    byte_miss_ratio: ratio(w.fetched, w.requested),
+                    request_hit_ratio: w.hits as f64 / w.jobs as f64,
+                };
+                self.series.push(point);
+                w.jobs = 0;
+                w.hits = 0;
+                w.requested = 0;
+                w.fetched = 0;
+            }
+        }
+    }
+
+    /// Byte miss ratio: fetched / requested (0 when nothing requested).
+    pub fn byte_miss_ratio(&self) -> f64 {
+        ratio(self.fetched_bytes, self.requested_bytes)
+    }
+
+    /// Byte hit ratio: `1 − byte miss ratio`.
+    pub fn byte_hit_ratio(&self) -> f64 {
+        1.0 - self.byte_miss_ratio()
+    }
+
+    /// Request-hit ratio: hits / jobs.
+    pub fn request_hit_ratio(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.jobs as f64
+        }
+    }
+
+    /// Request miss ratio: `1 − request-hit ratio`.
+    pub fn request_miss_ratio(&self) -> f64 {
+        1.0 - self.request_hit_ratio()
+    }
+
+    /// Average volume of data moved into the cache per request (Fig. 8's
+    /// metric), in bytes.
+    pub fn bytes_moved_per_request(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.fetched_bytes as f64 / self.jobs as f64
+        }
+    }
+
+    /// Merges another accumulator's totals into this one (series points are
+    /// appended; windows are not merged).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.jobs += other.jobs;
+        self.serviced += other.serviced;
+        self.hits += other.hits;
+        self.requested_bytes += other.requested_bytes;
+        self.fetched_bytes += other.fetched_bytes;
+        self.evicted_bytes += other.evicted_bytes;
+        self.series.extend(other.series.iter().copied());
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(hit: bool, requested: u64, fetched: u64) -> RequestOutcome {
+        RequestOutcome {
+            hit,
+            serviced: true,
+            requested_bytes: requested,
+            fetched_bytes: fetched,
+            ..RequestOutcome::default()
+        }
+    }
+
+    #[test]
+    fn ratios_compute_correctly() {
+        let mut m = Metrics::new();
+        m.record(&outcome(true, 100, 0));
+        m.record(&outcome(false, 100, 60));
+        assert_eq!(m.jobs, 2);
+        assert_eq!(m.hits, 1);
+        assert!((m.byte_miss_ratio() - 0.3).abs() < 1e-12);
+        assert!((m.byte_hit_ratio() - 0.7).abs() < 1e-12);
+        assert!((m.request_hit_ratio() - 0.5).abs() < 1e-12);
+        assert!((m.bytes_moved_per_request() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.byte_miss_ratio(), 0.0);
+        assert_eq!(m.request_hit_ratio(), 0.0);
+        assert_eq!(m.bytes_moved_per_request(), 0.0);
+    }
+
+    #[test]
+    fn series_points_emitted_per_window() {
+        let mut m = Metrics::with_series_window(2);
+        m.record(&outcome(false, 10, 10));
+        m.record(&outcome(false, 10, 10)); // window 1: bmr 1.0
+        m.record(&outcome(true, 10, 0));
+        m.record(&outcome(true, 10, 0)); // window 2: bmr 0.0
+        m.record(&outcome(false, 10, 5)); // partial window: no point
+        assert_eq!(m.series.len(), 2);
+        assert_eq!(m.series[0].jobs, 2);
+        assert!((m.series[0].byte_miss_ratio - 1.0).abs() < 1e-12);
+        assert!((m.series[1].byte_miss_ratio - 0.0).abs() < 1e-12);
+        assert!((m.series[1].request_hit_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_totals() {
+        let mut a = Metrics::new();
+        a.record(&outcome(true, 10, 0));
+        let mut b = Metrics::new();
+        b.record(&outcome(false, 30, 30));
+        a.merge(&b);
+        assert_eq!(a.jobs, 2);
+        assert_eq!(a.requested_bytes, 40);
+        assert!((a.byte_miss_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unserviced_jobs_counted_but_not_serviced() {
+        let mut m = Metrics::new();
+        m.record(&RequestOutcome {
+            serviced: false,
+            requested_bytes: 50,
+            ..RequestOutcome::default()
+        });
+        assert_eq!(m.jobs, 1);
+        assert_eq!(m.serviced, 0);
+    }
+}

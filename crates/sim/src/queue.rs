@@ -1,0 +1,245 @@
+//! Admission-queue scheduling (paper §5.2 "Incoming Queue Length" and the
+//! Fig. 9 experiments).
+//!
+//! Instead of servicing jobs strictly first-come-first-serve, incoming jobs
+//! are aggregated into a queue of length `q`; once the queue is full, the
+//! scheduler repeatedly picks one job (by its discipline) and services it,
+//! until the queue is drained, then refills — the paper's batch-draining
+//! procedure: "we first serve the request of highest relative value in the
+//! queue … and repeat this process on the remaining requests in the queue
+//! until it becomes empty".
+//!
+//! The relative-value ranking needs a request history; the runner maintains
+//! its own [`RequestHistory`] so the discipline works with *any* policy (for
+//! `OptFileBundle` it mirrors the policy's internal history).
+
+use crate::metrics::Metrics;
+use fbc_core::bundle::Bundle;
+use fbc_core::cache::CacheState;
+use fbc_core::history::RequestHistory;
+use fbc_core::policy::CachePolicy;
+use fbc_workload::trace::Trace;
+
+use crate::runner::RunConfig;
+
+/// The order in which a full queue is drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Discipline {
+    /// First come, first served (queueing changes nothing).
+    #[default]
+    Fcfs,
+    /// Highest adjusted relative value `v'(r)` first — the paper's choice.
+    HighestRelativeValue,
+    /// Smallest total request size first.
+    ShortestJobFirst,
+}
+
+impl Discipline {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Discipline::Fcfs => "fcfs",
+            Discipline::HighestRelativeValue => "hrv",
+            Discipline::ShortestJobFirst => "sjf",
+        }
+    }
+}
+
+/// Queued-admission configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Queue length `q` (1 degenerates to FCFS regardless of discipline).
+    pub queue_len: usize,
+    /// Draining order.
+    pub discipline: Discipline,
+}
+
+impl QueueConfig {
+    /// The paper's queued scheduler with length `q`.
+    pub fn hrv(queue_len: usize) -> Self {
+        Self {
+            queue_len,
+            discipline: Discipline::HighestRelativeValue,
+        }
+    }
+}
+
+/// Runs `policy` over `trace` with queued admission.
+///
+/// Jobs enter a queue of `queue_len`; when it is full (or input is
+/// exhausted) the whole batch is drained in discipline order. *Request
+/// lockout* is impossible by construction: every admitted job is serviced
+/// before the next batch is admitted, which is the fairness property the
+/// paper asks of "a fair effective scheduling algorithm".
+pub fn run_queued(
+    policy: &mut dyn CachePolicy,
+    trace: &Trace,
+    run: &RunConfig,
+    queue: &QueueConfig,
+) -> Metrics {
+    assert!(queue.queue_len >= 1, "queue length must be at least 1");
+    policy.prepare(&trace.requests);
+    let catalog = &trace.catalog;
+    let mut cache = CacheState::new(run.cache_size);
+    let mut metrics = match run.series_window {
+        Some(w) => Metrics::with_series_window(w),
+        None => Metrics::new(),
+    };
+    let mut ranking_history = RequestHistory::new();
+    let mut processed: u64 = 0;
+
+    let mut pending: Vec<Bundle> = Vec::with_capacity(queue.queue_len);
+    let mut input = trace.requests.iter().cloned();
+    loop {
+        // Fill the admission queue.
+        while pending.len() < queue.queue_len {
+            match input.next() {
+                Some(b) => pending.push(b),
+                None => break,
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+        // Drain the batch in discipline order.
+        while !pending.is_empty() {
+            let idx = match queue.discipline {
+                Discipline::Fcfs => 0,
+                Discipline::ShortestJobFirst => pending
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, b)| b.total_size(catalog))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0),
+                Discipline::HighestRelativeValue => {
+                    let mut best = 0;
+                    let mut best_rv = ranking_history.relative_value(&pending[0], catalog);
+                    for (i, bundle) in pending.iter().enumerate().skip(1) {
+                        let rv = ranking_history.relative_value(bundle, catalog);
+                        if rv > best_rv {
+                            best = i;
+                            best_rv = rv;
+                        }
+                    }
+                    best
+                }
+            };
+            let bundle = pending.remove(idx);
+            let outcome = policy.handle(&bundle, &mut cache, catalog);
+            debug_assert!(cache.check_invariants());
+            if processed >= run.warmup_jobs {
+                metrics.record(&outcome);
+            }
+            processed += 1;
+            ranking_history.record(&bundle);
+        }
+    }
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbc_core::catalog::FileCatalog;
+    use fbc_core::optfilebundle::OptFileBundle;
+
+    fn b(ids: &[u32]) -> Bundle {
+        Bundle::from_raw(ids.iter().copied())
+    }
+
+    fn trace() -> Trace {
+        let catalog = FileCatalog::from_sizes(vec![1; 8]);
+        // A hot pair {0,1} interleaved with cold singletons.
+        let jobs = vec![
+            b(&[0, 1]),
+            b(&[2]),
+            b(&[0, 1]),
+            b(&[3]),
+            b(&[0, 1]),
+            b(&[4]),
+            b(&[0, 1]),
+            b(&[5]),
+        ];
+        Trace::new(catalog, jobs)
+    }
+
+    #[test]
+    fn queue_of_one_equals_fcfs() {
+        let t = trace();
+        let run_cfg = RunConfig::new(3);
+        let mut p1 = OptFileBundle::new();
+        let fcfs = crate::runner::run_trace(&mut p1, &t, &run_cfg);
+        let mut p2 = OptFileBundle::new();
+        let q1 = run_queued(&mut p2, &t, &run_cfg, &QueueConfig::hrv(1));
+        assert_eq!(fcfs.fetched_bytes, q1.fetched_bytes);
+        assert_eq!(fcfs.hits, q1.hits);
+    }
+
+    #[test]
+    fn all_jobs_are_serviced_no_lockout() {
+        let t = trace();
+        let mut p = OptFileBundle::new();
+        let m = run_queued(&mut p, &t, &RunConfig::new(3), &QueueConfig::hrv(4));
+        assert_eq!(m.jobs, t.len() as u64);
+        assert_eq!(m.serviced, t.len() as u64);
+    }
+
+    #[test]
+    fn hrv_reorders_popular_requests_first() {
+        // With a queue of 4 and a history where {0,1} is already popular,
+        // the popular pair is serviced before cold singletons in each batch,
+        // grouping its accesses and improving its hit count.
+        let t = trace();
+        let run_cfg = RunConfig::new(3);
+        let mut fcfs_p = OptFileBundle::new();
+        let fcfs = crate::runner::run_trace(&mut fcfs_p, &t, &run_cfg);
+        let mut hrv_p = OptFileBundle::new();
+        let hrv = run_queued(&mut hrv_p, &t, &run_cfg, &QueueConfig::hrv(4));
+        assert!(
+            hrv.hits >= fcfs.hits,
+            "hrv hits {} < fcfs hits {}",
+            hrv.hits,
+            fcfs.hits
+        );
+    }
+
+    #[test]
+    fn sjf_services_small_jobs_first_within_batch() {
+        let catalog = FileCatalog::from_sizes(vec![5, 1, 3]);
+        let t = Trace::new(catalog, vec![b(&[0]), b(&[1]), b(&[2])]);
+        // Queue of 3, SJF: service order should be f1 (1), f2 (3), f0 (5).
+        // With a cache of exactly 5, servicing big-first would evict; here
+        // each is serviced alone so just check no panic and full service.
+        let mut p = OptFileBundle::new();
+        let m = run_queued(
+            &mut p,
+            &t,
+            &RunConfig::new(5),
+            &QueueConfig {
+                queue_len: 3,
+                discipline: Discipline::ShortestJobFirst,
+            },
+        );
+        assert_eq!(m.serviced, 3);
+    }
+
+    #[test]
+    fn warmup_applies_to_queued_runs() {
+        let t = trace();
+        let mut p = OptFileBundle::new();
+        let m = run_queued(
+            &mut p,
+            &t,
+            &RunConfig::with_warmup(3, 4),
+            &QueueConfig::hrv(2),
+        );
+        assert_eq!(m.jobs, t.len() as u64 - 4);
+    }
+
+    #[test]
+    fn discipline_labels() {
+        assert_eq!(Discipline::Fcfs.label(), "fcfs");
+        assert_eq!(Discipline::HighestRelativeValue.label(), "hrv");
+        assert_eq!(Discipline::ShortestJobFirst.label(), "sjf");
+    }
+}

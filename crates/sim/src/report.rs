@@ -1,0 +1,216 @@
+//! Experiment output: aligned ASCII tables for the terminal and CSV files
+//! for plotting — the two forms every figure/table binary in `fbc-bench`
+//! emits.
+
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; its length must match the header count.
+    pub fn add_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned ASCII table.
+    pub fn to_ascii(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let mut push_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| esc(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        push_row(&self.headers);
+        for row in &self.rows {
+            push_row(row);
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    pub fn save_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Renders a unicode sparkline for a series of values scaled to their own
+/// min..max range — a terminal-friendly miniature of a figure curve.
+///
+/// ```
+/// use fbc_sim::report::sparkline;
+/// assert_eq!(sparkline(&[0.0, 0.5, 1.0]).chars().count(), 3);
+/// assert_eq!(sparkline(&[]), "");
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::EPSILON);
+    values
+        .iter()
+        .map(|v| {
+            let t = ((v - min) / span * (BARS.len() - 1) as f64).round() as usize;
+            BARS[t.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Formats a float with 4 decimal places (the precision used in reports).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_alignment() {
+        let mut t = Table::new(["policy", "bmr"]);
+        t.add_row(["OptFileBundle", "0.1234"]);
+        t.add_row(["LRU", "0.9"]);
+        let s = t.to_ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("policy"));
+        assert!(lines[2].ends_with("0.1234"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(["a", "b"]);
+        t.add_row(["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row has")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new(["only one"]);
+        t.add_row(["a", "b"]);
+    }
+
+    #[test]
+    fn save_csv_creates_directories() {
+        let dir = std::env::temp_dir().join("fbc_report_test/nested");
+        let path = dir.join("t.csv");
+        let mut t = Table::new(["x"]);
+        t.add_row(["1"]);
+        t.save_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x\n1\n");
+        std::fs::remove_dir_all(std::env::temp_dir().join("fbc_report_test")).ok();
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[1.0, 1.0, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        // Monotone input yields non-decreasing bar heights.
+        let up = sparkline(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+        let heights: Vec<char> = up.chars().collect();
+        assert!(heights.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(heights[0], '\u{2581}');
+        assert_eq!(heights[4], '\u{2588}');
+    }
+
+    #[test]
+    fn float_formatters() {
+        assert_eq!(f4(0.123456), "0.1235");
+        assert_eq!(f2(1.0), "1.00");
+    }
+}

@@ -1,0 +1,128 @@
+//! File-pool generation (paper §5.1).
+//!
+//! "Given a defined cache size, the size of each file was generated randomly
+//! between a minimum size of 1 MB and a maximum size expressed as a
+//! percentage of defined cache size that varied from 1% to 10%."
+
+use fbc_core::catalog::FileCatalog;
+use fbc_core::types::{Bytes, MIB};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic file pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilePoolConfig {
+    /// Number of files available in the mass storage system.
+    pub num_files: usize,
+    /// Minimum file size (the paper uses 1 MB).
+    pub min_size: Bytes,
+    /// Maximum file size (the paper uses 1%–10% of the cache size).
+    pub max_size: Bytes,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FilePoolConfig {
+    /// The paper's parametrisation: sizes uniform in
+    /// `[1 MiB, max_frac · cache_size]`.
+    pub fn paper(cache_size: Bytes, num_files: usize, max_frac: f64, seed: u64) -> Self {
+        let max_size = ((cache_size as f64 * max_frac) as Bytes).max(MIB);
+        Self {
+            num_files,
+            min_size: MIB,
+            max_size,
+            seed,
+        }
+    }
+}
+
+/// Generates a catalog of `num_files` files with sizes uniform in
+/// `[min_size, max_size]`.
+///
+/// # Panics
+/// Panics if `min_size > max_size` or `num_files == 0`.
+pub fn generate_catalog(cfg: &FilePoolConfig) -> FileCatalog {
+    assert!(cfg.num_files > 0, "file pool must be non-empty");
+    assert!(
+        cfg.min_size <= cfg.max_size,
+        "min_size {} > max_size {}",
+        cfg.min_size,
+        cfg.max_size
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut catalog = FileCatalog::with_capacity(cfg.num_files);
+    for _ in 0..cfg.num_files {
+        catalog.add_file(rng.gen_range(cfg.min_size..=cfg.max_size));
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbc_core::types::GIB;
+
+    #[test]
+    fn sizes_respect_bounds() {
+        let cfg = FilePoolConfig {
+            num_files: 500,
+            min_size: 10,
+            max_size: 100,
+            seed: 1,
+        };
+        let cat = generate_catalog(&cfg);
+        assert_eq!(cat.len(), 500);
+        for (_, size) in cat.iter() {
+            assert!((10..=100).contains(&size));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = FilePoolConfig {
+            num_files: 100,
+            min_size: 1,
+            max_size: 1000,
+            seed: 42,
+        };
+        assert_eq!(generate_catalog(&cfg), generate_catalog(&cfg));
+        let other = FilePoolConfig { seed: 43, ..cfg };
+        assert_ne!(generate_catalog(&cfg), generate_catalog(&other));
+    }
+
+    #[test]
+    fn paper_parametrisation_uses_one_percent_of_cache() {
+        let cfg = FilePoolConfig::paper(10 * GIB, 100, 0.01, 7);
+        assert_eq!(cfg.min_size, MIB);
+        assert_eq!(cfg.max_size, (10 * GIB) / 100);
+        let cat = generate_catalog(&cfg);
+        for (_, size) in cat.iter() {
+            assert!((MIB..=(10 * GIB) / 100).contains(&size));
+        }
+    }
+
+    #[test]
+    fn degenerate_equal_bounds() {
+        let cfg = FilePoolConfig {
+            num_files: 3,
+            min_size: 5,
+            max_size: 5,
+            seed: 0,
+        };
+        let cat = generate_catalog(&cfg);
+        assert!(cat.iter().all(|(_, s)| s == 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_files_rejected() {
+        let cfg = FilePoolConfig {
+            num_files: 0,
+            min_size: 1,
+            max_size: 2,
+            seed: 0,
+        };
+        let _ = generate_catalog(&cfg);
+    }
+}

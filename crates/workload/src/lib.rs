@@ -1,0 +1,46 @@
+//! # fbc-workload — synthetic workloads for file-bundle caching
+//!
+//! The paper (§5.1) notes that no real file-bundle traces exist — scientific
+//! centres log one-file-at-a-time requests — so its evaluation, and this
+//! reproduction, run on synthetic workloads: a pool of files with sizes
+//! drawn relative to the cache size, a pool of distinct bundle requests, and
+//! a job sequence drawn from the pool under a uniform or Zipf popularity
+//! distribution.
+//!
+//! * [`synth::Workload`] — the paper's §5.1 generator in one call;
+//! * [`popularity`] — uniform and Zipf samplers;
+//! * [`filepool`] / [`requestpool`] — the two underlying pools;
+//! * [`trace`] — a replayable, text-serialisable trace format;
+//! * [`scenarios`] — domain-flavoured generators for the motivating
+//!   applications of §1.1: HENP event analysis, climate-model
+//!   post-processing, and bit-sliced bitmap-index queries.
+
+#![warn(missing_docs)]
+
+pub mod filepool;
+pub mod popularity;
+pub mod requestpool;
+pub mod stats;
+pub mod synth;
+pub mod trace;
+pub mod transform;
+
+/// Domain-specific workload generators (paper §1.1's motivating examples).
+pub mod scenarios {
+    pub mod bitmap;
+    pub mod climate;
+    pub mod federated;
+    pub mod henp;
+
+    pub use bitmap::{BitmapConfig, BitmapScenario};
+    pub use climate::{ClimateConfig, ClimateScenario};
+    pub use federated::{Community, FederatedConfig, FederatedScenario};
+    pub use henp::{HenpConfig, HenpScenario};
+}
+
+pub use filepool::{generate_catalog, FilePoolConfig};
+pub use popularity::{Popularity, PopularitySampler};
+pub use requestpool::{generate_request_pool, mean_request_bytes, RequestPoolConfig};
+pub use stats::{analyze, TraceStats};
+pub use synth::{Workload, WorkloadConfig};
+pub use trace::Trace;

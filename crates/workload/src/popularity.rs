@@ -1,0 +1,199 @@
+//! Request popularity distributions (paper §5.2).
+//!
+//! The paper examines "the two extreme distributions: a purely random
+//! distribution, and a Zipf distribution" over the request pool. Zipf
+//! assigns the `i`-th most popular request probability proportional to
+//! `1/i^θ` (the paper uses `θ = 1`).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Popularity model over a pool of `n` requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Popularity {
+    /// Every request equally likely.
+    Uniform,
+    /// `P(i) ∝ 1 / (i+1)^θ` for rank `i` (0-based). The paper's
+    /// distribution is `θ = 1`.
+    Zipf {
+        /// Skew exponent θ > 0.
+        theta: f64,
+    },
+}
+
+impl Popularity {
+    /// The paper's Zipf distribution (`θ = 1`).
+    pub fn zipf() -> Self {
+        Popularity::Zipf { theta: 1.0 }
+    }
+
+    /// Short label for reports ("uniform" / "zipf(1.00)").
+    pub fn label(&self) -> String {
+        match self {
+            Popularity::Uniform => "uniform".to_string(),
+            Popularity::Zipf { theta } => format!("zipf({theta:.2})"),
+        }
+    }
+}
+
+/// Precomputed sampler: draws ranks `0..n` according to a [`Popularity`].
+///
+/// Sampling is `O(log n)` by binary search on the CDF.
+#[derive(Debug, Clone)]
+pub struct PopularitySampler {
+    /// Inclusive-prefix CDF; `cdf[i]` = P(rank ≤ i). Last entry is 1.0.
+    cdf: Vec<f64>,
+    popularity: Popularity,
+}
+
+impl PopularitySampler {
+    /// Builds a sampler over `n` ranks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or a Zipf θ is not finite-positive.
+    pub fn new(popularity: Popularity, n: usize) -> Self {
+        assert!(n > 0, "cannot sample from an empty pool");
+        let weights: Vec<f64> = match popularity {
+            Popularity::Uniform => vec![1.0; n],
+            Popularity::Zipf { theta } => {
+                assert!(
+                    theta.is_finite() && theta > 0.0,
+                    "Zipf theta must be positive, got {theta}"
+                );
+                (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(theta)).collect()
+            }
+        };
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        // Guard against floating-point drift at the top end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Self { cdf, popularity }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The popularity model this sampler was built from.
+    pub fn popularity(&self) -> Popularity {
+        self.popularity
+    }
+
+    /// Probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_pmf_is_flat() {
+        let s = PopularitySampler::new(Popularity::Uniform, 10);
+        for i in 0..10 {
+            assert!((s.pmf(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_matches_analytic_form() {
+        let s = PopularitySampler::new(Popularity::zipf(), 4);
+        let h = 1.0 + 0.5 + 1.0 / 3.0 + 0.25; // harmonic number H_4
+        for i in 0..4 {
+            let expected = (1.0 / (i + 1) as f64) / h;
+            assert!(
+                (s.pmf(i) - expected).abs() < 1e-9,
+                "rank {i}: {} vs {expected}",
+                s.pmf(i)
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_frequencies_match_pmf() {
+        let s = PopularitySampler::new(Popularity::zipf(), 20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut counts = [0usize; 20];
+        for _ in 0..n {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / n as f64;
+            assert!(
+                (freq - s.pmf(i)).abs() < 0.01,
+                "rank {i}: freq {freq} vs pmf {}",
+                s.pmf(i)
+            );
+        }
+        // Skew: rank 0 strictly more popular than rank 19.
+        assert!(counts[0] > counts[19] * 5);
+    }
+
+    #[test]
+    fn uniform_sampling_covers_all_ranks() {
+        let s = PopularitySampler::new(Popularity::Uniform, 5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[s.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let mild = PopularitySampler::new(Popularity::Zipf { theta: 0.5 }, 100);
+        let steep = PopularitySampler::new(Popularity::Zipf { theta: 2.0 }, 100);
+        assert!(steep.pmf(0) > mild.pmf(0));
+        assert!(steep.pmf(99) < mild.pmf(99));
+    }
+
+    #[test]
+    fn cdf_tops_out_at_one() {
+        let s = PopularitySampler::new(Popularity::zipf(), 1000);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let r = s.sample(&mut rng);
+            assert!(r < 1000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn empty_pool_rejected() {
+        let _ = PopularitySampler::new(Popularity::Uniform, 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Popularity::Uniform.label(), "uniform");
+        assert_eq!(Popularity::zipf().label(), "zipf(1.00)");
+    }
+}

@@ -1,0 +1,211 @@
+//! Request-pool generation (paper §5.1).
+//!
+//! "The set of files requested by each job was chosen randomly from the list
+//! of available files such that the total size of the files requested was
+//! smaller than the available cache size." Jobs then draw from this pool of
+//! distinct requests according to a popularity distribution.
+
+use fbc_core::bundle::Bundle;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::types::{Bytes, FileId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the pool of distinct requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestPoolConfig {
+    /// Number of distinct requests in the pool.
+    pub num_requests: usize,
+    /// Bundle cardinality is drawn uniformly from this inclusive range.
+    pub files_per_request: (usize, usize),
+    /// Upper bound on a bundle's total bytes (the paper uses the cache
+    /// size, so every request is individually serviceable).
+    pub max_bundle_bytes: Bytes,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a pool of distinct bundles over `catalog`.
+///
+/// Each bundle draws a target cardinality uniformly from
+/// `files_per_request`, then samples files without replacement, keeping a
+/// file only while the running total stays within `max_bundle_bytes`. The
+/// result never contains duplicate bundles (regeneration with fresh
+/// randomness on collision) and never contains an empty bundle.
+///
+/// # Panics
+/// Panics on an empty catalog, an empty cardinality range, or if no file in
+/// the catalog fits within `max_bundle_bytes` (no bundle could be built).
+pub fn generate_request_pool(catalog: &FileCatalog, cfg: &RequestPoolConfig) -> Vec<Bundle> {
+    assert!(!catalog.is_empty(), "catalog must be non-empty");
+    let (min_k, max_k) = cfg.files_per_request;
+    assert!(
+        min_k >= 1 && min_k <= max_k,
+        "invalid files_per_request range ({min_k}, {max_k})"
+    );
+    assert!(
+        catalog.iter().any(|(_, s)| s <= cfg.max_bundle_bytes),
+        "no file fits within max_bundle_bytes"
+    );
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let all_files: Vec<FileId> = catalog.ids().collect();
+    let mut pool: Vec<Bundle> = Vec::with_capacity(cfg.num_requests);
+    let mut seen: std::collections::HashSet<Bundle> = std::collections::HashSet::new();
+
+    // A fixed retry budget per slot avoids livelock when the parameter
+    // combination admits few distinct bundles.
+    const MAX_ATTEMPTS: usize = 1000;
+    'outer: for _ in 0..cfg.num_requests {
+        for _ in 0..MAX_ATTEMPTS {
+            let k = rng.gen_range(min_k..=max_k);
+            let mut order = all_files.clone();
+            order.shuffle(&mut rng);
+            let mut picked: Vec<FileId> = Vec::with_capacity(k);
+            let mut total: Bytes = 0;
+            for f in order {
+                if picked.len() == k {
+                    break;
+                }
+                let s = catalog.size(f);
+                if total + s <= cfg.max_bundle_bytes {
+                    picked.push(f);
+                    total += s;
+                }
+            }
+            if picked.is_empty() {
+                continue;
+            }
+            let bundle = Bundle::new(picked);
+            if seen.insert(bundle.clone()) {
+                pool.push(bundle);
+                continue 'outer;
+            }
+        }
+        // Pool saturated: every feasible bundle (within the attempt budget)
+        // already exists. Return the distinct set we have.
+        break;
+    }
+    pool
+}
+
+/// Mean total size of the pool's bundles, in bytes.
+pub fn mean_request_bytes(catalog: &FileCatalog, pool: &[Bundle]) -> f64 {
+    if pool.is_empty() {
+        return 0.0;
+    }
+    pool.iter()
+        .map(|b| b.total_size(catalog) as f64)
+        .sum::<f64>()
+        / pool.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> FileCatalog {
+        FileCatalog::from_sizes((1..=50).map(|i| (i % 10) + 1).collect())
+    }
+
+    #[test]
+    fn bundles_respect_size_cap_and_cardinality() {
+        let cat = catalog();
+        let cfg = RequestPoolConfig {
+            num_requests: 100,
+            files_per_request: (2, 5),
+            max_bundle_bytes: 20,
+            seed: 1,
+        };
+        let pool = generate_request_pool(&cat, &cfg);
+        assert!(!pool.is_empty());
+        for b in &pool {
+            assert!(b.total_size(&cat) <= 20);
+            assert!(!b.is_empty());
+            assert!(b.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn pool_is_distinct() {
+        let cat = catalog();
+        let cfg = RequestPoolConfig {
+            num_requests: 200,
+            files_per_request: (1, 4),
+            max_bundle_bytes: 30,
+            seed: 9,
+        };
+        let pool = generate_request_pool(&cat, &cfg);
+        let set: std::collections::HashSet<_> = pool.iter().cloned().collect();
+        assert_eq!(set.len(), pool.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cat = catalog();
+        let cfg = RequestPoolConfig {
+            num_requests: 50,
+            files_per_request: (1, 3),
+            max_bundle_bytes: 25,
+            seed: 4,
+        };
+        assert_eq!(
+            generate_request_pool(&cat, &cfg),
+            generate_request_pool(&cat, &cfg)
+        );
+    }
+
+    #[test]
+    fn saturated_pool_returns_fewer_requests() {
+        // Only 2 files -> at most 3 distinct non-empty bundles.
+        let cat = FileCatalog::from_sizes(vec![1, 1]);
+        let cfg = RequestPoolConfig {
+            num_requests: 50,
+            files_per_request: (1, 2),
+            max_bundle_bytes: 10,
+            seed: 2,
+        };
+        let pool = generate_request_pool(&cat, &cfg);
+        assert!(pool.len() <= 3);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn tight_budget_shrinks_bundles() {
+        let cat = FileCatalog::from_sizes(vec![10, 10, 1]);
+        let cfg = RequestPoolConfig {
+            num_requests: 10,
+            files_per_request: (3, 3),
+            max_bundle_bytes: 11,
+            seed: 3,
+        };
+        // A 3-file bundle can't fit 2 of the 10-byte files; bundles shrink.
+        let pool = generate_request_pool(&cat, &cfg);
+        for b in &pool {
+            assert!(b.total_size(&cat) <= 11);
+        }
+    }
+
+    #[test]
+    fn mean_request_bytes_computes_average() {
+        let cat = FileCatalog::from_sizes(vec![10, 20]);
+        let pool = vec![Bundle::from_raw([0]), Bundle::from_raw([0, 1])];
+        assert!((mean_request_bytes(&cat, &pool) - 20.0).abs() < 1e-12);
+        assert_eq!(mean_request_bytes(&cat, &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no file fits")]
+    fn impossible_budget_rejected() {
+        let cat = FileCatalog::from_sizes(vec![100]);
+        let cfg = RequestPoolConfig {
+            num_requests: 1,
+            files_per_request: (1, 1),
+            max_bundle_bytes: 10,
+            seed: 0,
+        };
+        let _ = generate_request_pool(&cat, &cfg);
+    }
+}

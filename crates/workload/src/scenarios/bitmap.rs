@@ -1,0 +1,174 @@
+//! Bit-sliced index query workload (paper §1.1, citing Wu et al.).
+//!
+//! A collection of objects is indexed by bitmaps: each attribute's value
+//! range is divided into *bins*, and each bin's bitmap is stored in its own
+//! file. A range query on attribute `A` reads the contiguous run of bin
+//! files covering the range; a multi-attribute query reads the bin files of
+//! *all* attributes simultaneously (the boolean operations need them
+//! together) — a file-bundle.
+
+use fbc_core::bundle::Bundle;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::types::{Bytes, FileId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a bitmap-index query workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitmapConfig {
+    /// Indexed attributes.
+    pub attributes: usize,
+    /// Bins per attribute (one bitmap file per bin).
+    pub bins_per_attribute: usize,
+    /// Compressed bitmap file size range (compression makes sizes vary a
+    /// lot; drawn per file).
+    pub file_size: (Bytes, Bytes),
+    /// Attributes referenced per query, inclusive range.
+    pub attrs_per_query: (usize, usize),
+    /// Bins covered by a range predicate, inclusive range.
+    pub bins_per_predicate: (usize, usize),
+    /// Distinct queries to generate.
+    pub pool_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BitmapConfig {
+    fn default() -> Self {
+        use fbc_core::types::MIB;
+        Self {
+            attributes: 10,
+            bins_per_attribute: 20,
+            file_size: (MIB, 64 * MIB),
+            attrs_per_query: (1, 3),
+            bins_per_predicate: (1, 5),
+            pool_size: 200,
+            seed: 0xB177,
+        }
+    }
+}
+
+/// A generated bitmap-index scenario.
+#[derive(Debug, Clone)]
+pub struct BitmapScenario {
+    /// File `a * bins_per_attribute + b` is bin `b` of attribute `a`.
+    pub catalog: FileCatalog,
+    /// Distinct queries.
+    pub pool: Vec<Bundle>,
+    config: BitmapConfig,
+}
+
+impl BitmapScenario {
+    /// Generates the scenario deterministically.
+    pub fn generate(config: BitmapConfig) -> Self {
+        assert!(config.attributes > 0 && config.bins_per_attribute > 0);
+        let (min_a, max_a) = config.attrs_per_query;
+        let (min_b, max_b) = config.bins_per_predicate;
+        assert!(min_a >= 1 && min_a <= max_a && max_a <= config.attributes);
+        assert!(min_b >= 1 && min_b <= max_b && max_b <= config.bins_per_attribute);
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut catalog = FileCatalog::with_capacity(config.attributes * config.bins_per_attribute);
+        for _ in 0..config.attributes * config.bins_per_attribute {
+            catalog.add_file(rng.gen_range(config.file_size.0..=config.file_size.1));
+        }
+
+        let mut pool = Vec::with_capacity(config.pool_size);
+        let mut seen = std::collections::HashSet::new();
+        let mut attempts = 0;
+        while pool.len() < config.pool_size && attempts < config.pool_size * 100 {
+            attempts += 1;
+            let na = rng.gen_range(min_a..=max_a);
+            let mut attrs: Vec<usize> = (0..config.attributes).collect();
+            attrs.shuffle(&mut rng);
+            let mut files = Vec::new();
+            for &a in &attrs[..na] {
+                let nb = rng.gen_range(min_b..=max_b);
+                let start = rng.gen_range(0..=config.bins_per_attribute - nb);
+                for b in start..start + nb {
+                    files.push(FileId((a * config.bins_per_attribute + b) as u32));
+                }
+            }
+            let bundle = Bundle::new(files);
+            if seen.insert(bundle.clone()) {
+                pool.push(bundle);
+            }
+        }
+        Self {
+            catalog,
+            pool,
+            config,
+        }
+    }
+
+    /// `(attribute, bin)` of a file.
+    pub fn coords_of(&self, file: FileId) -> (usize, usize) {
+        (
+            file.index() / self.config.bins_per_attribute,
+            file.index() % self.config.bins_per_attribute,
+        )
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &BitmapConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_attribute_bins_are_contiguous_ranges() {
+        let s = BitmapScenario::generate(BitmapConfig::default());
+        for q in &s.pool {
+            let mut by_attr: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+            for f in q.iter() {
+                let (a, b) = s.coords_of(f);
+                by_attr.entry(a).or_default().push(b);
+            }
+            for (attr, mut bins) in by_attr {
+                bins.sort_unstable();
+                let span = bins.last().unwrap() - bins[0] + 1;
+                assert_eq!(span, bins.len(), "attr {attr} bins {bins:?} not contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn attribute_counts_within_bounds() {
+        let cfg = BitmapConfig {
+            attrs_per_query: (2, 2),
+            ..BitmapConfig::default()
+        };
+        let s = BitmapScenario::generate(cfg);
+        for q in &s.pool {
+            let attrs: std::collections::BTreeSet<usize> =
+                q.iter().map(|f| s.coords_of(f).0).collect();
+            assert_eq!(attrs.len(), 2);
+        }
+    }
+
+    #[test]
+    fn pool_distinct_and_deterministic() {
+        let a = BitmapScenario::generate(BitmapConfig::default());
+        let b = BitmapScenario::generate(BitmapConfig::default());
+        assert_eq!(a.pool, b.pool);
+        let set: std::collections::HashSet<_> = a.pool.iter().collect();
+        assert_eq!(set.len(), a.pool.len());
+    }
+
+    #[test]
+    fn catalog_size_matches_grid() {
+        let cfg = BitmapConfig {
+            attributes: 4,
+            bins_per_attribute: 6,
+            ..BitmapConfig::default()
+        };
+        let s = BitmapScenario::generate(cfg);
+        assert_eq!(s.catalog.len(), 24);
+    }
+}

@@ -1,0 +1,178 @@
+//! Climate-modelling analysis workload (paper §1.1, Fig. 1).
+//!
+//! A simulation produces many time steps, each with attributes such as
+//! temperature, humidity and wind-velocity components; the values of each
+//! attribute across a chunk of time steps are stored in one file. Analysis
+//! and visualisation jobs "match, merge and correlate attribute values from
+//! multiple files": a job selects a set of variables and a window of time
+//! chunks and needs the cross product of files simultaneously.
+
+use fbc_core::bundle::Bundle;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::types::{Bytes, FileId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a climate-analysis workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClimateConfig {
+    /// Simulated variables (temperature, humidity, u/v/w wind, …).
+    pub variables: usize,
+    /// Time chunks per variable (each chunk is one file).
+    pub time_chunks: usize,
+    /// Per-file size range (chunks are homogeneous grids, so sizes are
+    /// nearly constant; drawn per variable).
+    pub file_size: (Bytes, Bytes),
+    /// Number of variables per analysis job, inclusive range.
+    pub vars_per_job: (usize, usize),
+    /// Length of the contiguous time window a job reads, inclusive range.
+    pub window: (usize, usize),
+    /// Distinct jobs to generate.
+    pub pool_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClimateConfig {
+    fn default() -> Self {
+        use fbc_core::types::MIB;
+        Self {
+            variables: 12,
+            time_chunks: 24,
+            file_size: (64 * MIB, 256 * MIB),
+            vars_per_job: (1, 4),
+            window: (1, 6),
+            pool_size: 150,
+            seed: 0xC11A,
+        }
+    }
+}
+
+/// A generated climate scenario.
+#[derive(Debug, Clone)]
+pub struct ClimateScenario {
+    /// File `v * time_chunks + t` holds variable `v` over time chunk `t`.
+    pub catalog: FileCatalog,
+    /// Distinct analysis jobs.
+    pub pool: Vec<Bundle>,
+    config: ClimateConfig,
+}
+
+impl ClimateScenario {
+    /// Generates the scenario deterministically.
+    pub fn generate(config: ClimateConfig) -> Self {
+        assert!(config.variables > 0 && config.time_chunks > 0);
+        let (min_v, max_v) = config.vars_per_job;
+        let (min_w, max_w) = config.window;
+        assert!(min_v >= 1 && min_v <= max_v && max_v <= config.variables);
+        assert!(min_w >= 1 && min_w <= max_w && max_w <= config.time_chunks);
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut catalog = FileCatalog::with_capacity(config.variables * config.time_chunks);
+        for _ in 0..config.variables {
+            let size = rng.gen_range(config.file_size.0..=config.file_size.1);
+            for _ in 0..config.time_chunks {
+                catalog.add_file(size);
+            }
+        }
+
+        let mut pool = Vec::with_capacity(config.pool_size);
+        let mut seen = std::collections::HashSet::new();
+        let mut attempts = 0;
+        while pool.len() < config.pool_size && attempts < config.pool_size * 100 {
+            attempts += 1;
+            let nv = rng.gen_range(min_v..=max_v);
+            let w = rng.gen_range(min_w..=max_w);
+            let start = rng.gen_range(0..=config.time_chunks - w);
+            let mut vars: Vec<usize> = (0..config.variables).collect();
+            vars.shuffle(&mut rng);
+            let files = vars[..nv].iter().flat_map(|&v| {
+                (start..start + w).map(move |t| FileId((v * config.time_chunks + t) as u32))
+            });
+            let bundle = Bundle::new(files);
+            if seen.insert(bundle.clone()) {
+                pool.push(bundle);
+            }
+        }
+        Self {
+            catalog,
+            pool,
+            config,
+        }
+    }
+
+    /// `(variable, time_chunk)` of a file.
+    pub fn coords_of(&self, file: FileId) -> (usize, usize) {
+        (
+            file.index() / self.config.time_chunks,
+            file.index() % self.config.time_chunks,
+        )
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &ClimateConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_are_variable_by_window_cross_products() {
+        let s = ClimateScenario::generate(ClimateConfig::default());
+        for job in &s.pool {
+            let coords: Vec<(usize, usize)> = job.iter().map(|f| s.coords_of(f)).collect();
+            let vars: std::collections::BTreeSet<usize> = coords.iter().map(|&(v, _)| v).collect();
+            let times: std::collections::BTreeSet<usize> = coords.iter().map(|&(_, t)| t).collect();
+            // Cross product: |job| = |vars| × |times|.
+            assert_eq!(job.len(), vars.len() * times.len());
+            // Time window is contiguous.
+            let (lo, hi) = (
+                *times.iter().next().unwrap(),
+                *times.iter().next_back().unwrap(),
+            );
+            assert_eq!(hi - lo + 1, times.len());
+        }
+    }
+
+    #[test]
+    fn window_and_variable_counts_within_bounds() {
+        let cfg = ClimateConfig {
+            vars_per_job: (2, 3),
+            window: (2, 4),
+            ..ClimateConfig::default()
+        };
+        let s = ClimateScenario::generate(cfg);
+        for job in &s.pool {
+            let coords: Vec<(usize, usize)> = job.iter().map(|f| s.coords_of(f)).collect();
+            let vars: std::collections::BTreeSet<usize> = coords.iter().map(|&(v, _)| v).collect();
+            let times: std::collections::BTreeSet<usize> = coords.iter().map(|&(_, t)| t).collect();
+            assert!((2..=3).contains(&vars.len()));
+            assert!((2..=4).contains(&times.len()));
+        }
+    }
+
+    #[test]
+    fn files_of_one_variable_share_size() {
+        let s = ClimateScenario::generate(ClimateConfig::default());
+        let chunks = s.config().time_chunks;
+        for v in 0..s.config().variables {
+            let first = s.catalog.size(FileId((v * chunks) as u32));
+            for t in 1..chunks {
+                assert_eq!(s.catalog.size(FileId((v * chunks + t) as u32)), first);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = ClimateScenario::generate(ClimateConfig::default());
+        let b = ClimateScenario::generate(ClimateConfig::default());
+        assert_eq!(a.pool, b.pool);
+        assert_eq!(a.catalog, b.catalog);
+    }
+}

@@ -1,0 +1,177 @@
+//! A federated workload: the three §1.1 communities — HENP event analysis,
+//! climate post-processing and bitmap-index querying — sharing one SRM.
+//!
+//! Real data-grid caches serve several scientific communities at once; this
+//! generator merges the domain scenarios into a single catalog (file ids
+//! offset per community) and one request pool, with configurable weight per
+//! community.
+
+use crate::scenarios::{
+    BitmapConfig, BitmapScenario, ClimateConfig, ClimateScenario, HenpConfig, HenpScenario,
+};
+use fbc_core::bundle::Bundle;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::types::FileId;
+use serde::{Deserialize, Serialize};
+
+/// Which community a request (or file) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Community {
+    /// High-energy / nuclear physics event analysis.
+    Henp,
+    /// Climate-model post-processing.
+    Climate,
+    /// Bit-sliced bitmap-index querying.
+    Bitmap,
+}
+
+impl Community {
+    /// Label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Community::Henp => "henp",
+            Community::Climate => "climate",
+            Community::Bitmap => "bitmap",
+        }
+    }
+}
+
+/// Configuration of the federated scenario.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FederatedConfig {
+    /// HENP community parameters.
+    pub henp: HenpConfig,
+    /// Climate community parameters.
+    pub climate: ClimateConfig,
+    /// Bitmap community parameters.
+    pub bitmap: BitmapConfig,
+}
+
+/// A merged multi-community scenario.
+#[derive(Debug, Clone)]
+pub struct FederatedScenario {
+    /// Combined catalog: HENP files first, then climate, then bitmap.
+    pub catalog: FileCatalog,
+    /// Combined request pool, each tagged with its community.
+    pub pool: Vec<(Community, Bundle)>,
+    henp_files: usize,
+    climate_files: usize,
+}
+
+impl FederatedScenario {
+    /// Generates the three community scenarios and merges them.
+    pub fn generate(config: FederatedConfig) -> Self {
+        let henp = HenpScenario::generate(config.henp);
+        let climate = ClimateScenario::generate(config.climate);
+        let bitmap = BitmapScenario::generate(config.bitmap);
+
+        let henp_files = henp.catalog.len();
+        let climate_files = climate.catalog.len();
+        let mut catalog =
+            FileCatalog::with_capacity(henp_files + climate_files + bitmap.catalog.len());
+        for (_, size) in henp.catalog.iter() {
+            catalog.add_file(size);
+        }
+        for (_, size) in climate.catalog.iter() {
+            catalog.add_file(size);
+        }
+        for (_, size) in bitmap.catalog.iter() {
+            catalog.add_file(size);
+        }
+
+        let offset = |bundle: &Bundle, by: usize| {
+            Bundle::new(bundle.iter().map(|f| FileId(f.0 + by as u32)))
+        };
+        let mut pool = Vec::new();
+        for b in &henp.pool {
+            pool.push((Community::Henp, b.clone()));
+        }
+        for b in &climate.pool {
+            pool.push((Community::Climate, offset(b, henp_files)));
+        }
+        for b in &bitmap.pool {
+            pool.push((Community::Bitmap, offset(b, henp_files + climate_files)));
+        }
+        Self {
+            catalog,
+            pool,
+            henp_files,
+            climate_files,
+        }
+    }
+
+    /// The community a file belongs to.
+    pub fn community_of(&self, file: FileId) -> Community {
+        let i = file.index();
+        if i < self.henp_files {
+            Community::Henp
+        } else if i < self.henp_files + self.climate_files {
+            Community::Climate
+        } else {
+            Community::Bitmap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn communities_are_disjoint() {
+        let s = FederatedScenario::generate(FederatedConfig::default());
+        for (community, bundle) in &s.pool {
+            for f in bundle.iter() {
+                assert!(s.catalog.contains(f));
+                assert_eq!(
+                    s.community_of(f),
+                    *community,
+                    "file {f} crossed communities"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_is_the_union() {
+        let cfg = FederatedConfig::default();
+        let s = FederatedScenario::generate(cfg);
+        let henp = HenpScenario::generate(cfg.henp);
+        let climate = ClimateScenario::generate(cfg.climate);
+        let bitmap = BitmapScenario::generate(cfg.bitmap);
+        assert_eq!(
+            s.catalog.len(),
+            henp.catalog.len() + climate.catalog.len() + bitmap.catalog.len()
+        );
+        assert_eq!(
+            s.pool.len(),
+            henp.pool.len() + climate.pool.len() + bitmap.pool.len()
+        );
+        assert_eq!(
+            s.catalog.total_bytes(),
+            henp.catalog.total_bytes()
+                + climate.catalog.total_bytes()
+                + bitmap.catalog.total_bytes()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = FederatedScenario::generate(FederatedConfig::default());
+        let b = FederatedScenario::generate(FederatedConfig::default());
+        assert_eq!(a.pool, b.pool);
+        assert_eq!(a.catalog, b.catalog);
+    }
+
+    #[test]
+    fn all_three_communities_present() {
+        let s = FederatedScenario::generate(FederatedConfig::default());
+        for c in [Community::Henp, Community::Climate, Community::Bitmap] {
+            assert!(
+                s.pool.iter().any(|(cc, _)| *cc == c),
+                "missing {}",
+                c.label()
+            );
+        }
+    }
+}

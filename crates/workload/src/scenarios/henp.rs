@@ -1,0 +1,158 @@
+//! High-Energy and Nuclear Physics analysis workload (paper §1.1).
+//!
+//! Collision *events* have many attributes (total energy, momentum, particle
+//! counts, …); each attribute's values across a run of events are stored in
+//! a separate file (vertical partitioning). A physicist's analysis job
+//! selects a handful of attributes of one run and must read all of those
+//! attribute files together — a file-bundle.
+
+use fbc_core::bundle::Bundle;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::types::{Bytes, FileId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a HENP vertical-partitioning workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HenpConfig {
+    /// Number of experiment runs (datasets); attributes of different runs
+    /// are never mixed in one job.
+    pub runs: usize,
+    /// Attributes recorded per event (paper: "10 to 500").
+    pub attributes: usize,
+    /// Attribute-file size range; attribute files of a run are similar in
+    /// size (same event count), so sizes are drawn once per run and jittered.
+    pub file_size: (Bytes, Bytes),
+    /// Number of attributes an analysis job reads, inclusive range.
+    pub attrs_per_job: (usize, usize),
+    /// Number of distinct analysis jobs to generate in the pool.
+    pub pool_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HenpConfig {
+    fn default() -> Self {
+        use fbc_core::types::MIB;
+        Self {
+            runs: 4,
+            attributes: 60,
+            file_size: (32 * MIB, 512 * MIB),
+            attrs_per_job: (2, 8),
+            pool_size: 150,
+            seed: 0x4E50,
+        }
+    }
+}
+
+/// A generated HENP scenario: catalog plus distinct analysis-job pool.
+#[derive(Debug, Clone)]
+pub struct HenpScenario {
+    /// Attribute-file catalog; file `run * attributes + a` holds attribute
+    /// `a` of run `run`.
+    pub catalog: FileCatalog,
+    /// Distinct analysis jobs.
+    pub pool: Vec<Bundle>,
+    config: HenpConfig,
+}
+
+impl HenpScenario {
+    /// Generates the scenario deterministically.
+    pub fn generate(config: HenpConfig) -> Self {
+        assert!(config.runs > 0 && config.attributes > 0);
+        let (min_a, max_a) = config.attrs_per_job;
+        assert!(min_a >= 1 && min_a <= max_a && max_a <= config.attributes);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut catalog = FileCatalog::with_capacity(config.runs * config.attributes);
+        for _ in 0..config.runs {
+            // Event count (hence base size) is a property of the run.
+            let base = rng.gen_range(config.file_size.0..=config.file_size.1);
+            for _ in 0..config.attributes {
+                // Attributes differ in width; jitter ±25%.
+                let jitter = rng.gen_range(75..=125);
+                catalog.add_file((base * jitter / 100).max(1));
+            }
+        }
+        let mut pool = Vec::with_capacity(config.pool_size);
+        let mut seen = std::collections::HashSet::new();
+        let mut attempts = 0;
+        while pool.len() < config.pool_size && attempts < config.pool_size * 100 {
+            attempts += 1;
+            let run = rng.gen_range(0..config.runs);
+            let k = rng.gen_range(min_a..=max_a);
+            let mut attrs: Vec<u32> = (0..config.attributes as u32).collect();
+            attrs.shuffle(&mut rng);
+            let bundle = Bundle::new(
+                attrs[..k]
+                    .iter()
+                    .map(|&a| FileId((run * config.attributes) as u32 + a)),
+            );
+            if seen.insert(bundle.clone()) {
+                pool.push(bundle);
+            }
+        }
+        Self {
+            catalog,
+            pool,
+            config,
+        }
+    }
+
+    /// The run a file belongs to.
+    pub fn run_of(&self, file: FileId) -> usize {
+        file.index() / self.config.attributes
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &HenpConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_never_mix_runs() {
+        let s = HenpScenario::generate(HenpConfig::default());
+        for job in &s.pool {
+            let runs: std::collections::HashSet<usize> = job.iter().map(|f| s.run_of(f)).collect();
+            assert_eq!(runs.len(), 1, "job {job} spans runs {runs:?}");
+        }
+    }
+
+    #[test]
+    fn cardinality_within_bounds() {
+        let cfg = HenpConfig {
+            attrs_per_job: (3, 5),
+            ..HenpConfig::default()
+        };
+        let s = HenpScenario::generate(cfg);
+        for job in &s.pool {
+            assert!((3..=5).contains(&job.len()));
+        }
+    }
+
+    #[test]
+    fn pool_is_distinct_and_deterministic() {
+        let a = HenpScenario::generate(HenpConfig::default());
+        let b = HenpScenario::generate(HenpConfig::default());
+        assert_eq!(a.pool, b.pool);
+        let set: std::collections::HashSet<_> = a.pool.iter().collect();
+        assert_eq!(set.len(), a.pool.len());
+    }
+
+    #[test]
+    fn catalog_has_run_times_attribute_files() {
+        let cfg = HenpConfig {
+            runs: 3,
+            attributes: 10,
+            ..HenpConfig::default()
+        };
+        let s = HenpScenario::generate(cfg);
+        assert_eq!(s.catalog.len(), 30);
+    }
+}

@@ -1,0 +1,204 @@
+//! End-to-end synthetic workload generation — the paper's §5.1 model in one
+//! call: file pool → request pool → popularity-driven job trace.
+
+use crate::filepool::{generate_catalog, FilePoolConfig};
+use crate::popularity::{Popularity, PopularitySampler};
+use crate::requestpool::{generate_request_pool, mean_request_bytes, RequestPoolConfig};
+use crate::trace::Trace;
+use fbc_core::bundle::Bundle;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::types::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Full description of a synthetic workload (paper §5.1/§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Disk-cache size; file and bundle sizes are derived from it.
+    pub cache_size: Bytes,
+    /// Number of files in the mass storage system.
+    pub num_files: usize,
+    /// Maximum file size as a fraction of the cache size (paper: 1%–10%).
+    pub max_file_frac: f64,
+    /// Number of distinct requests in the pool.
+    pub pool_requests: usize,
+    /// Number of jobs submitted (paper: typically 10 000).
+    pub jobs: usize,
+    /// Bundle cardinality range.
+    pub files_per_request: (usize, usize),
+    /// Popularity distribution over the request pool.
+    pub popularity: Popularity,
+    /// Master seed; file pool, request pool and job sequence derive
+    /// distinct streams from it.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        use fbc_core::types::GIB;
+        Self {
+            cache_size: 10 * GIB,
+            num_files: 400,
+            max_file_frac: 0.01,
+            pool_requests: 200,
+            jobs: 10_000,
+            files_per_request: (2, 6),
+            popularity: Popularity::Uniform,
+            seed: 0xF1BC_2004,
+        }
+    }
+}
+
+/// A generated workload: catalog, distinct request pool, and the job trace.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The configuration it was generated from.
+    pub config: WorkloadConfig,
+    /// File sizes.
+    pub catalog: FileCatalog,
+    /// Distinct request pool (rank order = popularity order).
+    pub pool: Vec<Bundle>,
+    /// The job sequence (indices resolved from the pool).
+    pub jobs: Vec<Bundle>,
+}
+
+impl Workload {
+    /// Generates the workload deterministically from its config.
+    pub fn generate(config: WorkloadConfig) -> Self {
+        let catalog = generate_catalog(&FilePoolConfig::paper(
+            config.cache_size,
+            config.num_files,
+            config.max_file_frac,
+            config.seed ^ 0xA5A5_0001,
+        ));
+        let pool = generate_request_pool(
+            &catalog,
+            &RequestPoolConfig {
+                num_requests: config.pool_requests,
+                files_per_request: config.files_per_request,
+                max_bundle_bytes: config.cache_size,
+                seed: config.seed ^ 0xA5A5_0002,
+            },
+        );
+        let sampler = PopularitySampler::new(config.popularity, pool.len());
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA5A5_0003);
+        let jobs = (0..config.jobs)
+            .map(|_| pool[sampler.sample(&mut rng)].clone())
+            .collect();
+        Self {
+            config,
+            catalog,
+            pool,
+            jobs,
+        }
+    }
+
+    /// Mean bundle size of the pool, in bytes.
+    pub fn mean_request_bytes(&self) -> f64 {
+        mean_request_bytes(&self.catalog, &self.pool)
+    }
+
+    /// The cache size expressed in "requests that fit in the cache" — the
+    /// unit the paper reports cache sizes in (§5).
+    pub fn requests_per_cache(&self) -> f64 {
+        let mean = self.mean_request_bytes();
+        if mean <= 0.0 {
+            0.0
+        } else {
+            self.config.cache_size as f64 / mean
+        }
+    }
+
+    /// Converts the workload into a replayable [`Trace`].
+    pub fn into_trace(self) -> Trace {
+        Trace::new(self.catalog, self.jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbc_core::types::GIB;
+
+    fn small_config() -> WorkloadConfig {
+        WorkloadConfig {
+            cache_size: GIB,
+            num_files: 50,
+            max_file_frac: 0.05,
+            pool_requests: 40,
+            jobs: 500,
+            files_per_request: (1, 4),
+            popularity: Popularity::zipf(),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Workload::generate(small_config());
+        let b = Workload::generate(small_config());
+        assert_eq!(a.catalog, b.catalog);
+        assert_eq!(a.pool, b.pool);
+        assert_eq!(a.jobs, b.jobs);
+    }
+
+    #[test]
+    fn jobs_come_from_the_pool() {
+        let w = Workload::generate(small_config());
+        let pool: std::collections::HashSet<_> = w.pool.iter().cloned().collect();
+        assert_eq!(w.jobs.len(), 500);
+        assert!(w.jobs.iter().all(|j| pool.contains(j)));
+    }
+
+    #[test]
+    fn every_request_fits_in_the_cache() {
+        let w = Workload::generate(small_config());
+        for b in &w.pool {
+            assert!(b.total_size(&w.catalog) <= w.config.cache_size);
+        }
+    }
+
+    #[test]
+    fn zipf_workload_is_skewed_toward_low_ranks() {
+        let w = Workload::generate(WorkloadConfig {
+            jobs: 5000,
+            ..small_config()
+        });
+        let count = |b: &Bundle| w.jobs.iter().filter(|j| *j == b).count();
+        // Rank 0 of the pool should dominate the last rank.
+        assert!(count(&w.pool[0]) > count(&w.pool[w.pool.len() - 1]) * 3);
+    }
+
+    #[test]
+    fn uniform_workload_spreads_mass() {
+        let w = Workload::generate(WorkloadConfig {
+            popularity: Popularity::Uniform,
+            jobs: 8000,
+            ..small_config()
+        });
+        let expected = 8000.0 / w.pool.len() as f64;
+        let count0 = w.jobs.iter().filter(|j| **j == w.pool[0]).count() as f64;
+        assert!((count0 - expected).abs() < expected * 0.5);
+    }
+
+    #[test]
+    fn requests_per_cache_is_sane() {
+        let w = Workload::generate(small_config());
+        let rpc = w.requests_per_cache();
+        assert!(rpc > 1.0, "cache should hold more than one request: {rpc}");
+        assert!(rpc.is_finite());
+    }
+
+    #[test]
+    fn into_trace_roundtrips_through_text() {
+        let w = Workload::generate(WorkloadConfig {
+            jobs: 50,
+            ..small_config()
+        });
+        let t = w.into_trace();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        assert_eq!(crate::trace::Trace::read_from(&buf[..]).unwrap(), t);
+    }
+}

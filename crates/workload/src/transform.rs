@@ -1,0 +1,179 @@
+//! Trace transformations: compose, slice and perturb traces to build
+//! derived workloads (scan injection, phase changes, warmup prefixes)
+//! without regenerating from scratch.
+
+use crate::trace::Trace;
+use fbc_core::bundle::Bundle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// First `n` jobs of a trace (catalog shared).
+pub fn truncate(trace: &Trace, n: usize) -> Trace {
+    Trace::new(
+        trace.catalog.clone(),
+        trace.requests.iter().take(n).cloned().collect(),
+    )
+}
+
+/// The trace repeated `times` times back to back — a cyclic workload.
+pub fn repeat(trace: &Trace, times: usize) -> Trace {
+    let mut requests = Vec::with_capacity(trace.len() * times);
+    for _ in 0..times {
+        requests.extend(trace.requests.iter().cloned());
+    }
+    Trace::new(trace.catalog.clone(), requests)
+}
+
+/// Concatenates two traces over the *same catalog* (sequential phases —
+/// e.g. a popularity shift mid-workload).
+///
+/// # Panics
+/// Panics if the catalogs differ.
+pub fn concat(a: &Trace, b: &Trace) -> Trace {
+    assert_eq!(a.catalog, b.catalog, "concat requires a shared catalog");
+    let mut requests = a.requests.clone();
+    requests.extend(b.requests.iter().cloned());
+    Trace::new(a.catalog.clone(), requests)
+}
+
+/// Interleaves two traces over the same catalog, alternating one job from
+/// each while both have jobs left, then draining the longer one —
+/// concurrent workload communities sharing one SRM.
+///
+/// ```
+/// use fbc_core::{bundle::Bundle, catalog::FileCatalog};
+/// use fbc_workload::{transform, Trace};
+///
+/// let catalog = FileCatalog::from_sizes(vec![1; 4]);
+/// let a = Trace::new(catalog.clone(), vec![Bundle::from_raw([0]), Bundle::from_raw([1])]);
+/// let b = Trace::new(catalog, vec![Bundle::from_raw([2])]);
+/// let merged = transform::interleave(&a, &b);
+/// assert_eq!(merged.len(), 3);
+/// assert_eq!(merged.requests[1], Bundle::from_raw([2]));
+/// ```
+///
+/// # Panics
+/// Panics if the catalogs differ.
+pub fn interleave(a: &Trace, b: &Trace) -> Trace {
+    assert_eq!(a.catalog, b.catalog, "interleave requires a shared catalog");
+    let mut requests = Vec::with_capacity(a.len() + b.len());
+    let mut ia = a.requests.iter();
+    let mut ib = b.requests.iter();
+    loop {
+        match (ia.next(), ib.next()) {
+            (None, None) => break,
+            (x, y) => {
+                if let Some(r) = x {
+                    requests.push(r.clone());
+                }
+                if let Some(r) = y {
+                    requests.push(r.clone());
+                }
+            }
+        }
+    }
+    Trace::new(a.catalog.clone(), requests)
+}
+
+/// Injects one-shot *scan* jobs: after each original job, with probability
+/// `fraction`, a random (almost surely unique) bundle of 2–6 catalog files
+/// is inserted. Models ad-hoc exploratory queries mixed into recurring
+/// analysis campaigns.
+pub fn with_scans(trace: &Trace, fraction: f64, seed: u64) -> Trace {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1], got {fraction}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let files = trace.catalog.len() as u32;
+    assert!(files >= 2, "need at least 2 files to build scan bundles");
+    let mut requests = Vec::with_capacity(trace.len() * 2);
+    for r in &trace.requests {
+        requests.push(r.clone());
+        if rng.gen::<f64>() < fraction {
+            let k = rng.gen_range(2..=6usize);
+            requests.push(Bundle::from_raw((0..k).map(|_| rng.gen_range(0..files))));
+        }
+    }
+    Trace::new(trace.catalog.clone(), requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbc_core::catalog::FileCatalog;
+
+    fn b(ids: &[u32]) -> Bundle {
+        Bundle::from_raw(ids.iter().copied())
+    }
+
+    fn t(jobs: &[&[u32]]) -> Trace {
+        Trace::new(
+            FileCatalog::from_sizes(vec![1; 10]),
+            jobs.iter().map(|ids| b(ids)).collect(),
+        )
+    }
+
+    #[test]
+    fn truncate_takes_prefix() {
+        let trace = t(&[&[0], &[1], &[2]]);
+        assert_eq!(truncate(&trace, 2).requests, vec![b(&[0]), b(&[1])]);
+        assert_eq!(truncate(&trace, 99).len(), 3);
+        assert_eq!(truncate(&trace, 0).len(), 0);
+    }
+
+    #[test]
+    fn repeat_cycles() {
+        let trace = t(&[&[0], &[1]]);
+        let r = repeat(&trace, 3);
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.requests[4], b(&[0]));
+    }
+
+    #[test]
+    fn concat_orders_phases() {
+        let a = t(&[&[0]]);
+        let bb = t(&[&[1], &[2]]);
+        let c = concat(&a, &bb);
+        assert_eq!(c.requests, vec![b(&[0]), b(&[1]), b(&[2])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared catalog")]
+    fn concat_rejects_mismatched_catalogs() {
+        let a = t(&[&[0]]);
+        let other = Trace::new(FileCatalog::from_sizes(vec![2; 10]), vec![b(&[0])]);
+        let _ = concat(&a, &other);
+    }
+
+    #[test]
+    fn interleave_alternates_and_drains() {
+        let a = t(&[&[0], &[1], &[2]]);
+        let bb = t(&[&[5]]);
+        let c = interleave(&a, &bb);
+        assert_eq!(c.requests, vec![b(&[0]), b(&[5]), b(&[1]), b(&[2])]);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn scans_inject_unique_jobs() {
+        let trace = t(&[&[0], &[1], &[2], &[3]]);
+        let s = with_scans(&trace, 1.0, 7);
+        assert_eq!(s.len(), 8); // one scan after every job
+                                // Original jobs preserved in order at even positions.
+        assert_eq!(s.requests[0], b(&[0]));
+        assert_eq!(s.requests[2], b(&[1]));
+        // Deterministic per seed.
+        assert_eq!(with_scans(&trace, 1.0, 7), s);
+        assert_ne!(with_scans(&trace, 1.0, 8).requests, s.requests);
+        // Zero fraction is the identity.
+        assert_eq!(with_scans(&trace, 0.0, 7), trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_rejected() {
+        let trace = t(&[&[0]]);
+        let _ = with_scans(&trace, 2.0, 0);
+    }
+}

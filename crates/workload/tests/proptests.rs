@@ -1,0 +1,147 @@
+//! Property-based tests of workload generation and transformation.
+
+use fbc_core::types::MIB;
+use fbc_workload::scenarios::{BitmapConfig, BitmapScenario, HenpConfig, HenpScenario};
+use fbc_workload::transform;
+use fbc_workload::{Popularity, PopularitySampler, Trace, Workload, WorkloadConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated workloads respect their declared bounds for any valid
+    /// parameter combination.
+    #[test]
+    fn workload_respects_bounds(
+        num_files in 10usize..100,
+        pool in 5usize..40,
+        jobs in 1usize..120,
+        max_k in 1usize..5,
+        zipf in proptest::bool::ANY,
+        seed: u64,
+    ) {
+        let cfg = WorkloadConfig {
+            cache_size: 500 * MIB,
+            num_files,
+            max_file_frac: 0.05,
+            pool_requests: pool,
+            jobs,
+            files_per_request: (1, max_k),
+            popularity: if zipf { Popularity::zipf() } else { Popularity::Uniform },
+            seed,
+        };
+        let w = Workload::generate(cfg);
+        prop_assert_eq!(w.catalog.len(), num_files);
+        prop_assert!(w.pool.len() <= pool);
+        prop_assert!(!w.pool.is_empty());
+        prop_assert_eq!(w.jobs.len(), jobs);
+        for b in &w.pool {
+            prop_assert!(b.len() <= max_k);
+            prop_assert!(b.total_size(&w.catalog) <= cfg.cache_size);
+            for f in b.iter() {
+                prop_assert!(w.catalog.contains(f));
+            }
+        }
+        // Determinism.
+        let again = Workload::generate(cfg);
+        prop_assert_eq!(w.jobs, again.jobs);
+    }
+
+    /// The sampler's CDF is strictly within [0,1] and pmf sums to 1.
+    #[test]
+    fn sampler_pmf_is_a_distribution(n in 1usize..500, theta in 0.1f64..3.0) {
+        let s = PopularitySampler::new(Popularity::Zipf { theta }, n);
+        let total: f64 = (0..n).map(|i| s.pmf(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Monotone non-increasing in rank.
+        for i in 1..n {
+            prop_assert!(s.pmf(i) <= s.pmf(i - 1) + 1e-12);
+        }
+    }
+
+    /// Trace transformations preserve job counts and catalogs.
+    #[test]
+    fn transforms_preserve_structure(
+        jobs_a in 1usize..30,
+        jobs_b in 1usize..30,
+        times in 1usize..5,
+        seed: u64,
+    ) {
+        let make = |jobs: usize, seed: u64| {
+            Workload::generate(WorkloadConfig {
+                cache_size: 500 * MIB,
+                num_files: 20,
+                max_file_frac: 0.05,
+                pool_requests: 10,
+                jobs,
+                files_per_request: (1, 3),
+                popularity: Popularity::Uniform,
+                seed,
+            })
+        };
+        // Same seed for the catalog so traces share it.
+        let wa = make(jobs_a, seed);
+        let a = Trace::new(wa.catalog.clone(), wa.jobs.clone());
+        let wb = make(jobs_b, seed);
+        let b = Trace::new(wb.catalog.clone(), wb.jobs.clone());
+        prop_assert_eq!(&a.catalog, &b.catalog);
+
+        prop_assert_eq!(transform::concat(&a, &b).len(), jobs_a + jobs_b);
+        prop_assert_eq!(transform::interleave(&a, &b).len(), jobs_a + jobs_b);
+        prop_assert_eq!(transform::repeat(&a, times).len(), jobs_a * times);
+        let t = transform::truncate(&a, jobs_a / 2);
+        prop_assert_eq!(t.len(), jobs_a / 2);
+        let s = transform::with_scans(&a, 0.5, seed);
+        prop_assert!(s.len() >= jobs_a && s.len() <= 2 * jobs_a);
+        // Originals appear in order within the scanified trace.
+        let mut it = s.requests.iter();
+        for orig in &a.requests {
+            prop_assert!(it.any(|r| r == orig));
+        }
+    }
+
+    /// HENP jobs never span runs, for any valid configuration.
+    #[test]
+    fn henp_scenario_invariants(runs in 1usize..5, attrs in 4usize..30, seed: u64) {
+        let cfg = HenpConfig {
+            runs,
+            attributes: attrs,
+            attrs_per_job: (1, attrs.min(6)),
+            pool_size: 30,
+            seed,
+            ..HenpConfig::default()
+        };
+        let s = HenpScenario::generate(cfg);
+        prop_assert_eq!(s.catalog.len(), runs * attrs);
+        for job in &s.pool {
+            let r0 = s.run_of(job.files()[0]);
+            prop_assert!(job.iter().all(|f| s.run_of(f) == r0));
+        }
+    }
+
+    /// Bitmap queries cover contiguous bin ranges per attribute.
+    #[test]
+    fn bitmap_scenario_invariants(attrs in 2usize..8, bins in 3usize..15, seed: u64) {
+        let cfg = BitmapConfig {
+            attributes: attrs,
+            bins_per_attribute: bins,
+            attrs_per_query: (1, attrs.min(3)),
+            bins_per_predicate: (1, bins.min(4)),
+            pool_size: 25,
+            seed,
+            ..BitmapConfig::default()
+        };
+        let s = BitmapScenario::generate(cfg);
+        for q in &s.pool {
+            let mut per_attr: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+            for f in q.iter() {
+                let (a, b) = s.coords_of(f);
+                per_attr.entry(a).or_default().push(b);
+            }
+            for (_, mut v) in per_attr {
+                v.sort_unstable();
+                prop_assert_eq!(v.last().unwrap() - v[0] + 1, v.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Pedagogical walkthrough of the paper's theory (§3–§4): builds the worked
+//! example and adversarial Dense-k-Subgraph instances, and compares
+//! `OptCacheSelect`'s greedy variants, partial enumeration and the exact
+//! optimum against Theorem 4.1's guarantee.
+//!
+//! ```text
+//! cargo run --release --example approximation_demo
+//! ```
+
+use fbc_core::bounds::{enumerated_bound, greedy_bound};
+use fbc_core::dks::{dks_to_fbc, fbc_to_dks_solution, Graph};
+use fbc_core::enumerate::opt_cache_select_enumerated;
+use fbc_core::exact::solve_exact;
+use fbc_core::instance::FbcInstance;
+use fbc_core::select::{opt_cache_select, GreedyVariant, SelectOptions};
+
+fn show(label: &str, value: f64, optimum: f64) {
+    println!(
+        "  {label:<28} value {value:>5.1}   ratio {:.3}",
+        value / optimum
+    );
+}
+
+fn main() {
+    // ---- Part 1: the paper's worked example (§3, Fig. 3). ----
+    println!("Part 1 — the paper's worked example (7 unit files, cache of 3)\n");
+    let example = FbcInstance::new(
+        3,
+        vec![1; 7],
+        vec![
+            (vec![0, 2, 4], 1.0), // r1 = {f1,f3,f5}
+            (vec![1, 5, 6], 1.0), // r2 = {f2,f6,f7}
+            (vec![0, 4], 1.0),    // r3 = {f1,f5}
+            (vec![3, 5, 6], 1.0), // r4 = {f4,f6,f7}
+            (vec![2, 4], 1.0),    // r5 = {f3,f5}
+            (vec![4, 5, 6], 1.0), // r6 = {f5,f6,f7}
+        ],
+    )
+    .expect("valid instance");
+    let optimum = solve_exact(&example);
+    println!(
+        "  exact optimum supports {} requests with files {:?} (the paper's {{f1,f3,f5}})",
+        optimum.chosen.len(),
+        optimum
+            .files
+            .iter()
+            .map(|&f| format!("f{}", f + 1))
+            .collect::<Vec<_>>()
+    );
+    for (label, variant) in [
+        ("greedy, Algorithm 1 verbatim", GreedyVariant::PaperLiteral),
+        ("greedy, marginal charging", GreedyVariant::SortedOnce),
+        ("greedy, shared-credit Note", GreedyVariant::SharedCredit),
+    ] {
+        let sel = opt_cache_select(
+            &example,
+            &SelectOptions {
+                variant,
+                max_single_fallback: true,
+            },
+        );
+        show(label, sel.value, optimum.value);
+    }
+    let d = example.max_degree();
+    println!(
+        "  max degree d = {d}; guarantees: greedy {:.3}, enumerated {:.3}\n",
+        greedy_bound(d),
+        enumerated_bound(d)
+    );
+
+    // ---- Part 2: adversarial dense graphs (the NP-hardness reduction). ----
+    println!("Part 2 — Dense-k-Subgraph reduction (two triangles + a bridge)\n");
+    let graph = Graph::new(
+        6,
+        vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)],
+    )
+    .expect("valid graph");
+    let inst = dks_to_fbc(&graph, 3).expect("k <= n");
+    let exact = solve_exact(&inst);
+    let greedy = opt_cache_select(&inst, &SelectOptions::default());
+    let seeded = opt_cache_select_enumerated(&inst, 1);
+    let (gv, ge) = fbc_to_dks_solution(&graph, &greedy);
+    let (sv, se) = fbc_to_dks_solution(&graph, &seeded);
+    println!(
+        "  exact: {} induced edges; greedy picks {gv:?} ({ge} edges); \
+         1-seed enumeration picks {sv:?} ({se} edges)",
+        exact.value as usize
+    );
+    println!("  the bridge edge lures the plain greedy away from either triangle;\n  partial enumeration recovers it.\n");
+
+    // ---- Part 3: how often is the greedy actually optimal? ----
+    println!("Part 3 — empirical ratios on 500 random instances\n");
+    let mut state = 0x2004_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let (mut worst, mut sum, mut optimal) = (f64::INFINITY, 0.0, 0u32);
+    let trials = 500;
+    for _ in 0..trials {
+        let m = (next() % 8 + 3) as usize;
+        let sizes: Vec<u64> = (0..m).map(|_| next() % 20 + 1).collect();
+        let n = (next() % 10 + 2) as usize;
+        let reqs: Vec<(Vec<u32>, f64)> = (0..n)
+            .map(|_| {
+                let k = (next() % 3 + 1) as usize;
+                (
+                    (0..k).map(|_| (next() % m as u64) as u32).collect(),
+                    (next() % 50 + 1) as f64,
+                )
+            })
+            .collect();
+        let inst = FbcInstance::new(next() % 80 + 5, sizes, reqs).expect("valid");
+        let exact = solve_exact(&inst).value;
+        if exact <= 0.0 {
+            // Nothing fits: every algorithm trivially ties at zero.
+            optimal += 1;
+            sum += 1.0;
+            continue;
+        }
+        let greedy = opt_cache_select(&inst, &SelectOptions::default()).value;
+        let ratio = greedy / exact;
+        worst = worst.min(ratio);
+        sum += ratio;
+        if ratio >= 1.0 - 1e-9 {
+            optimal += 1;
+        }
+    }
+    println!(
+        "  greedy found the optimum in {optimal}/{trials} instances; \
+         mean ratio {:.4}, worst {:.4}",
+        sum / trials as f64,
+        worst
+    );
+    println!(
+        "  (Theorem 4.1 only promises ½(1−e^(−1/d)) — the greedy is far better\n   in practice, which is why the paper can use it online.)"
+    );
+}

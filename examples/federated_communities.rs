@@ -1,0 +1,79 @@
+//! Federated-community example: HENP, climate and bitmap-index workloads
+//! sharing one SRM cache — the realistic multi-tenant setting a data-grid
+//! cache actually faces. Uses the side-by-side comparison API and reports
+//! per-community hit ratios for the winning policy.
+//!
+//! ```text
+//! cargo run --release --example federated_communities
+//! ```
+
+use fbc_sim::compare::compare_policies;
+use fbc_workload::scenarios::{FederatedConfig, FederatedScenario};
+use file_bundle_cache::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let mut scenario = FederatedScenario::generate(FederatedConfig::default());
+    // Interleave the communities in the popularity ranking (the generator
+    // concatenates them, which would hand every hot rank to one community).
+    scenario.pool.shuffle(&mut StdRng::seed_from_u64(0xFEDE));
+    println!(
+        "federated scenario: {} files ({}), {} distinct requests across 3 communities",
+        scenario.catalog.len(),
+        fbc_core::types::format_bytes(scenario.catalog.total_bytes()),
+        scenario.pool.len()
+    );
+
+    // Zipf over the merged pool: hot requests exist in every community.
+    let sampler = PopularitySampler::new(Popularity::zipf(), scenario.pool.len());
+    let mut rng = StdRng::seed_from_u64(77);
+    let draws: Vec<usize> = (0..4_000).map(|_| sampler.sample(&mut rng)).collect();
+    let jobs: Vec<Bundle> = draws.iter().map(|&i| scenario.pool[i].1.clone()).collect();
+    let trace = Trace::new(scenario.catalog.clone(), jobs);
+    let cache_size = scenario.catalog.total_bytes() / 8;
+
+    // Side-by-side comparison via the library API.
+    let comparison = compare_policies(
+        &trace,
+        &RunConfig::new(cache_size),
+        vec![
+            PolicyKind::OptFileBundle.build(),
+            PolicyKind::Landlord.build(),
+            PolicyKind::Arc.build(),
+            PolicyKind::Gdsf.build(),
+        ],
+    );
+    println!("\n{}", comparison.table().to_ascii());
+    let best = comparison.best_by_byte_miss().expect("policies ran");
+    println!("lowest byte miss ratio: {best}\n");
+
+    // Per-community hit breakdown for OptFileBundle.
+    let mut policy = OptFileBundle::new();
+    let mut cache = CacheState::new(cache_size);
+    let mut per_community: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+    for &i in &draws {
+        let (community, bundle) = &scenario.pool[i];
+        let out = policy.handle(bundle, &mut cache, &trace.catalog);
+        let entry = per_community.entry(community.label()).or_insert((0, 0));
+        entry.1 += 1;
+        if out.hit {
+            entry.0 += 1;
+        }
+    }
+    let mut table = Table::new(["community", "jobs", "request-hit ratio"]);
+    for (label, (hits, jobs)) in &per_community {
+        table.add_row([
+            label.to_string(),
+            jobs.to_string(),
+            format!("{:.4}", *hits as f64 / *jobs as f64),
+        ]);
+    }
+    println!("{}", table.to_ascii());
+    println!(
+        "The policy needs no tenant configuration: the request history separates\n\
+         the communities by itself, and each one's hit ratio tracks how often its\n\
+         bundles recur and how large they are relative to the shared cache."
+    );
+}

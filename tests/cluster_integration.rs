@@ -1,0 +1,161 @@
+//! Integration tests for the multi-SRM and replicated-storage extensions,
+//! driven through the public facade.
+
+use fbc_grid::multi::{run_multi_grid, Dispatch, MultiGridConfig};
+use fbc_grid::replica::{run_grid_replicated, Placement, ReplicaGridConfig};
+use file_bundle_cache::grid::client::schedule_arrivals;
+use file_bundle_cache::prelude::*;
+
+fn workload(seed: u64) -> (FileCatalog, Vec<Bundle>) {
+    let w = Workload::generate(WorkloadConfig {
+        num_files: 80,
+        max_file_frac: 0.02,
+        pool_requests: 40,
+        jobs: 300,
+        files_per_request: (1, 4),
+        popularity: Popularity::zipf(),
+        seed,
+        ..WorkloadConfig::default()
+    });
+    (w.catalog, w.jobs)
+}
+
+#[test]
+fn multi_grid_conserves_jobs_across_dispatches() {
+    let (catalog, jobs) = workload(1);
+    let arrivals = schedule_arrivals(&jobs, ArrivalProcess::Poisson { rate: 5.0, seed: 2 });
+    for dispatch in [
+        Dispatch::RoundRobin,
+        Dispatch::LeastLoaded,
+        Dispatch::BundleAffinity,
+    ] {
+        let config = MultiGridConfig {
+            srm: SrmConfig {
+                cache_size: GIB,
+                ..SrmConfig::default()
+            },
+            nodes: 3,
+            mss: MssConfig::default(),
+            link: LinkConfig::default(),
+            dispatch,
+        };
+        let mut policies: Vec<Box<dyn CachePolicy>> =
+            (0..3).map(|_| PolicyKind::OptFileBundle.build()).collect();
+        let stats = run_multi_grid(&mut policies, &catalog, &arrivals, &config);
+        assert_eq!(
+            stats.overall.completed + stats.overall.rejected,
+            jobs.len() as u64,
+            "{dispatch:?}"
+        );
+        assert_eq!(stats.routed.iter().sum::<u64>(), jobs.len() as u64);
+        // Per-node stats sum to the overall.
+        assert_eq!(
+            stats.per_node.iter().map(|s| s.completed).sum::<u64>(),
+            stats.overall.completed
+        );
+        assert_eq!(
+            stats
+                .per_node
+                .iter()
+                .map(|s| s.cache.fetched_bytes)
+                .sum::<u64>(),
+            stats.overall.cache.fetched_bytes
+        );
+    }
+}
+
+#[test]
+fn affinity_beats_round_robin_on_hits() {
+    let (catalog, jobs) = workload(3);
+    let arrivals = schedule_arrivals(&jobs, ArrivalProcess::Batch);
+    let run = |dispatch: Dispatch| {
+        let config = MultiGridConfig {
+            srm: SrmConfig {
+                cache_size: GIB / 2,
+                ..SrmConfig::default()
+            },
+            nodes: 4,
+            mss: MssConfig::default(),
+            link: LinkConfig::default(),
+            dispatch,
+        };
+        let mut policies: Vec<Box<dyn CachePolicy>> =
+            (0..4).map(|_| PolicyKind::OptFileBundle.build()).collect();
+        run_multi_grid(&mut policies, &catalog, &arrivals, &config)
+    };
+    let rr = run(Dispatch::RoundRobin);
+    let aff = run(Dispatch::BundleAffinity);
+    assert!(
+        aff.overall.cache.hits >= rr.overall.cache.hits,
+        "affinity {} < round-robin {}",
+        aff.overall.cache.hits,
+        rr.overall.cache.hits
+    );
+}
+
+#[test]
+fn replication_changes_timing_not_bytes() {
+    let (catalog, jobs) = workload(5);
+    let arrivals = schedule_arrivals(&jobs, ArrivalProcess::Batch);
+    let run = |placement: Placement| {
+        let config = ReplicaGridConfig {
+            srm: SrmConfig {
+                cache_size: 2 * GIB,
+                max_concurrent_jobs: 1, // sequential: decisions independent of timing
+                ..SrmConfig::default()
+            },
+            mss: MssConfig::default(),
+            link: LinkConfig::default(),
+            placement,
+        };
+        let mut policy = OptFileBundle::new();
+        run_grid_replicated(&mut policy, &catalog, &arrivals, &config)
+    };
+    let files = catalog.len();
+    let one = run(Placement::random(files, 4, 1, 11));
+    let four = run(Placement::full(files, 4));
+    // With sequential service, the byte accounting is timing-independent.
+    assert_eq!(one.cache.fetched_bytes, four.cache.fetched_bytes);
+    assert!(four.makespan <= one.makespan);
+    assert_eq!(one.completed, four.completed);
+}
+
+#[test]
+fn single_node_multi_grid_equals_engine() {
+    let (catalog, jobs) = workload(7);
+    let arrivals = schedule_arrivals(&jobs, ArrivalProcess::Poisson { rate: 2.0, seed: 8 });
+    let srm = SrmConfig {
+        cache_size: GIB,
+        ..SrmConfig::default()
+    };
+    let mut policies: Vec<Box<dyn CachePolicy>> = vec![PolicyKind::OptFileBundle.build()];
+    let multi = run_multi_grid(
+        &mut policies,
+        &catalog,
+        &arrivals,
+        &MultiGridConfig {
+            srm,
+            nodes: 1,
+            mss: MssConfig::default(),
+            link: LinkConfig::default(),
+            dispatch: Dispatch::LeastLoaded,
+        },
+    );
+    let mut policy = OptFileBundle::new();
+    let single = run_grid(
+        &mut policy,
+        &catalog,
+        &arrivals,
+        &GridConfig {
+            srm,
+            mss: MssConfig::default(),
+            link: LinkConfig::default(),
+        },
+    );
+    assert_eq!(multi.overall.completed, single.completed);
+    assert_eq!(
+        multi.overall.cache.fetched_bytes,
+        single.cache.fetched_bytes
+    );
+    assert_eq!(multi.overall.makespan, single.makespan);
+}

@@ -1,0 +1,164 @@
+//! Property-based integration tests (proptest) on the cross-crate
+//! invariants listed in DESIGN.md §6.
+
+use file_bundle_cache::core::exact::solve_exact;
+use file_bundle_cache::core::instance::FbcInstance;
+use file_bundle_cache::core::select::{opt_cache_select, GreedyVariant, SelectOptions};
+use file_bundle_cache::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small random FBC instance.
+fn fbc_instance() -> impl Strategy<Value = FbcInstance> {
+    (2usize..=8, 1usize..=10).prop_flat_map(|(m, n)| {
+        let sizes = proptest::collection::vec(1u64..=20, m);
+        let request = (proptest::collection::vec(0u32..m as u32, 1..=3), 1u32..=50);
+        let requests = proptest::collection::vec(request, n);
+        (sizes, requests, 0u64..=80).prop_map(|(sizes, requests, cap)| {
+            let reqs = requests
+                .into_iter()
+                .map(|(files, v)| (files, v as f64))
+                .collect();
+            FbcInstance::new(cap, sizes, reqs).expect("valid instance")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 4.1: the greedy's value is at least ½(1 − e^{−1/d}) of the
+    /// exact optimum, on every instance.
+    #[test]
+    fn greedy_respects_theorem_4_1(inst in fbc_instance()) {
+        let exact = solve_exact(&inst);
+        let greedy = opt_cache_select(&inst, &SelectOptions::default());
+        let check = file_bundle_cache::core::bounds::check_greedy_bound(
+            &inst, greedy.value, exact.value);
+        prop_assert!(check.holds,
+            "ratio {} < guarantee {} (d={})",
+            check.achieved_ratio, check.guarantee, check.d);
+    }
+
+    /// Every greedy variant returns a feasible selection.
+    #[test]
+    fn greedy_selections_are_feasible(inst in fbc_instance()) {
+        for variant in [GreedyVariant::PaperLiteral, GreedyVariant::SortedOnce,
+                        GreedyVariant::SharedCredit] {
+            let sel = opt_cache_select(&inst, &SelectOptions {
+                variant, max_single_fallback: true });
+            prop_assert!(sel.bytes <= inst.capacity());
+            prop_assert!(inst.is_feasible(&sel.chosen));
+            // Value must equal the sum of chosen request values.
+            let recomputed = inst.total_value(&sel.chosen);
+            prop_assert!((sel.value - recomputed).abs() < 1e-9);
+        }
+    }
+
+    /// Partial enumeration never does worse than the plain greedy and never
+    /// exceeds the optimum.
+    #[test]
+    fn enumeration_is_sandwiched(inst in fbc_instance()) {
+        let exact = solve_exact(&inst);
+        let plain = opt_cache_select(&inst, &SelectOptions::default());
+        let e2 = file_bundle_cache::core::enumerate::opt_cache_select_enumerated(&inst, 2);
+        prop_assert!(e2.value + 1e-9 >= plain.value);
+        prop_assert!(exact.value + 1e-9 >= e2.value);
+    }
+}
+
+/// Strategy: a random trace over a small catalog.
+fn trace_and_cache() -> impl Strategy<Value = (Trace, Bytes)> {
+    (3usize..=20, 1u64..=64)
+        .prop_flat_map(|(m, cache_units)| {
+            let sizes = proptest::collection::vec(1u64..=8, m);
+            let bundle = proptest::collection::vec(0u32..m as u32, 1..=4);
+            let jobs = proptest::collection::vec(bundle, 1..=60);
+            (sizes, jobs, Just(cache_units))
+        })
+        .prop_map(|(sizes, jobs, cache_units)| {
+            let catalog = FileCatalog::from_sizes(sizes);
+            let requests = jobs.into_iter().map(Bundle::from_raw).collect();
+            (Trace::new(catalog, requests), cache_units)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cache capacity and residency invariants hold for every policy on
+    /// arbitrary traces, including infeasible (over-capacity) bundles.
+    #[test]
+    fn all_policies_respect_invariants((trace, cache) in trace_and_cache()) {
+        let mut kinds = PolicyKind::ONLINE.to_vec();
+        kinds.push(PolicyKind::BeladyMin);
+        for kind in kinds {
+            let mut policy = kind.build();
+            policy.prepare(&trace.requests);
+            let mut state = CacheState::new(cache);
+            for bundle in &trace.requests {
+                let out = policy.handle(bundle, &mut state, &trace.catalog);
+                prop_assert!(state.check_invariants(), "{kind:?} broke invariants");
+                if out.serviced {
+                    prop_assert!(state.supports(bundle), "{kind:?}: serviced but missing files");
+                } else {
+                    // Only oversized bundles may go unserviced in a pin-free run.
+                    prop_assert!(bundle.total_size(&trace.catalog) > cache,
+                        "{kind:?} failed a feasible bundle");
+                }
+                prop_assert_eq!(out.requested_bytes, bundle.total_size(&trace.catalog));
+                // Accounting sanity: fetched files were really missing; sizes add up.
+                let fetched_sum: u64 = out.fetched_files.iter()
+                    .map(|&f| trace.catalog.size(f)).sum();
+                prop_assert_eq!(fetched_sum, out.fetched_bytes);
+            }
+        }
+    }
+
+    /// Simulation runs are deterministic: same trace, same policy config,
+    /// same metrics.
+    #[test]
+    fn runs_are_deterministic((trace, cache) in trace_and_cache()) {
+        for kind in [PolicyKind::OptFileBundle, PolicyKind::Landlord, PolicyKind::Random] {
+            let mut a = kind.build();
+            let mut b = kind.build();
+            let ma = run_trace(a.as_mut(), &trace, &RunConfig::new(cache));
+            let mb = run_trace(b.as_mut(), &trace, &RunConfig::new(cache));
+            prop_assert_eq!(ma, mb, "{:?} nondeterministic", kind);
+        }
+    }
+
+    /// Trace text serialisation round-trips arbitrary traces.
+    #[test]
+    fn trace_roundtrip((trace, _cache) in trace_and_cache()) {
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(&buf[..]).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Queued admission with q=1 is exactly FCFS for any policy and trace.
+    #[test]
+    fn queue_of_one_is_fcfs((trace, cache) in trace_and_cache()) {
+        let mut a = OptFileBundle::new();
+        let fcfs = run_trace(&mut a, &trace, &RunConfig::new(cache));
+        let mut b = OptFileBundle::new();
+        let q1 = run_queued(&mut b, &trace, &RunConfig::new(cache), &QueueConfig::hrv(1));
+        prop_assert_eq!(fcfs.fetched_bytes, q1.fetched_bytes);
+        prop_assert_eq!(fcfs.hits, q1.hits);
+        prop_assert_eq!(fcfs.evicted_bytes, q1.evicted_bytes);
+    }
+
+    /// Queued admission services every job exactly once (no lockout, no
+    /// duplication) under any discipline.
+    #[test]
+    fn queueing_never_drops_jobs((trace, cache) in trace_and_cache(),
+                                 q in 1usize..=16) {
+        for discipline in [Discipline::Fcfs, Discipline::HighestRelativeValue,
+                           Discipline::ShortestJobFirst] {
+            let mut p = OptFileBundle::new();
+            let m = run_queued(&mut p, &trace, &RunConfig::new(cache),
+                &QueueConfig { queue_len: q, discipline });
+            prop_assert_eq!(m.jobs, trace.len() as u64);
+        }
+    }
+}
