@@ -129,8 +129,19 @@ impl CachePolicy for Landlord {
             // Deterministic processing order.
             candidates.sort_unstable_by_key(|&(f, _)| f);
 
+            // A resident file can lack a ledger entry (e.g. the policy was
+            // reset while the cache stayed warm). It must start at its full
+            // initial credit like any other tenant — treating it as credit 0
+            // would hand it over as an "already-broke" victim without ever
+            // charging it rent.
+            for &(f, size) in &candidates {
+                credits
+                    .entry(f)
+                    .or_insert_with(|| Self::initial_credit(cost_model, size));
+            }
+
             let rent = |f: FileId, size: u64| {
-                let c = credits.get(&f).copied().unwrap_or(0.0);
+                let c = credits[&f];
                 match cost_model {
                     CostModel::Uniform => c,
                     CostModel::SizeAware => c / size.max(1) as f64,
@@ -156,7 +167,7 @@ impl CachePolicy for Landlord {
                     CostModel::Uniform => delta,
                     CostModel::SizeAware => delta * size.max(1) as f64,
                 };
-                let c = credits.entry(f).or_insert(0.0);
+                let c = credits.get_mut(&f).expect("entry created above");
                 *c = (*c - charge).max(0.0);
                 if *c <= f64::EPSILON && victim.is_none() {
                     victim = Some(f);
@@ -339,6 +350,29 @@ mod tests {
     #[should_panic(expected = "refresh fraction")]
     fn bad_refresh_fraction_rejected() {
         let _ = Landlord::with_refresh(CostModel::Uniform, 1.5);
+    }
+
+    #[test]
+    fn uncredited_resident_is_not_evicted_for_free() {
+        // Regression: a resident file with no credit entry (here: the policy
+        // was reset while the cache stayed warm) used to look "already
+        // broke" and was surrendered without a rent round.
+        let catalog = FileCatalog::from_sizes(vec![5, 5, 5]);
+        let mut cache = CacheState::new(10);
+        let mut ll = Landlord::new();
+        ll.handle(&b(&[0]), &mut cache, &catalog);
+        ll.handle(&b(&[1]), &mut cache, &catalog);
+        ll.reset(); // credits gone, f0 and f1 still resident
+        ll.handle(&b(&[0]), &mut cache, &catalog); // hit: only f0 re-credited
+        assert_eq!(ll.credit(FileId(1)), None, "f1 resident but uncredited");
+
+        // {2} forces one eviction. f1 must be initialised to full credit and
+        // charged rent like f0 — then the tie breaks to the lowest id (f0),
+        // not to the uncredited f1.
+        let out = ll.handle(&b(&[2]), &mut cache, &catalog);
+        assert!(out.serviced);
+        assert_eq!(out.evicted_files, vec![FileId(0)]);
+        assert!(cache.contains(FileId(1)));
     }
 
     #[test]

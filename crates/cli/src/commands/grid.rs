@@ -4,10 +4,11 @@
 use crate::args::{ArgError, Args};
 use crate::policies::{policy_by_name, POLICY_NAMES};
 use fbc_grid::client::{schedule_arrivals, ArrivalProcess};
-use fbc_grid::engine::{run_grid, GridConfig};
+use fbc_grid::engine::{run_grid_with_faults, GridConfig};
+use fbc_grid::faults::{FaultPlan, PRESET_NAMES};
 use fbc_grid::mss::MssConfig;
 use fbc_grid::network::LinkConfig;
-use fbc_grid::srm::SrmConfig;
+use fbc_grid::srm::{RetryPolicy, SrmConfig};
 use fbc_grid::time::SimDuration;
 use fbc_workload::Trace;
 
@@ -29,6 +30,11 @@ Options:
   --drive-mbps M        per-drive bandwidth, MB/s [60]
   --link-ms MS          WAN latency in milliseconds [10]
   --link-mbps M         WAN bandwidth, MB/s [125]
+  --faults SPEC         fault-injection plan: 'preset:NAME' (one of:
+                        tape-outage, flaky-wan, blackout) or ';'-separated
+                        clauses like 'drive=0,60,300;transient=0.01;seed=7'
+  --max-retries N       fetch retries before a job fails [5]
+  --fetch-timeout-secs S  abandon a fetch attempt after S seconds [none]
 ";
 
 /// Runs the subcommand.
@@ -45,6 +51,9 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "drive-mbps",
         "link-ms",
         "link-mbps",
+        "faults",
+        "max-retries",
+        "fetch-timeout-secs",
     ])?;
     let trace_path = args.require("trace")?;
     let cache = args.get_bytes_or("cache", 0)?;
@@ -74,19 +83,52 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             latency: SimDuration::from_secs_f64(args.get_or("link-ms", 10.0f64)? / 1e3),
             bandwidth: args.get_or("link-mbps", 125.0f64)? * 1e6,
         },
+        retry: RetryPolicy {
+            max_retries: args.get_or("max-retries", 5u32)?,
+            fetch_timeout: match args.get("fetch-timeout-secs") {
+                Some(s) => Some(SimDuration::from_secs_f64(s.parse().map_err(|_| {
+                    ArgError(format!("bad --fetch-timeout-secs value '{s}'"))
+                })?)),
+                None => None,
+            },
+            ..RetryPolicy::default()
+        },
     };
     let rate: f64 = args.get_or("rate", 2.0f64)?;
     let seed: u64 = args.get_or("arrival-seed", 1u64)?;
+    let plan =
+        match args.get("faults") {
+            Some(spec) => Some(FaultPlan::parse(spec).map_err(|e| {
+                ArgError(format!("bad --faults spec: {e} (presets: {PRESET_NAMES})"))
+            })?),
+            None => None,
+        };
+    if let Some(plan) = &plan {
+        plan.validate_for_drives(config.mss.drives)
+            .map_err(|e| ArgError(format!("bad --faults spec: {e}")))?;
+    }
 
     let trace =
         Trace::load(trace_path).map_err(|e| ArgError(format!("cannot read {trace_path}: {e}")))?;
     let arrivals = schedule_arrivals(&trace.requests, ArrivalProcess::Poisson { rate, seed });
-    let stats = run_grid(policy.as_mut(), &trace.catalog, &arrivals, &config);
+    let stats = run_grid_with_faults(
+        policy.as_mut(),
+        &trace.catalog,
+        &arrivals,
+        &config,
+        plan.as_ref(),
+    );
 
     println!("policy:            {}", policy.name());
     println!("completed:         {}", stats.completed);
+    println!("failed:            {}", stats.failed);
     println!("rejected:          {}", stats.rejected);
+    println!("availability:      {:.4}", stats.availability());
     println!("byte miss ratio:   {:.4}", stats.cache.byte_miss_ratio());
+    println!("fetch attempts:    {}", stats.fetch_attempts);
+    println!("fetch retries:     {}", stats.fetch_retries);
+    println!("fetch timeouts:    {}", stats.fetch_timeouts);
+    println!("transient errors:  {}", stats.transient_fetch_errors);
     println!("mean response:     {}", stats.mean_response());
     println!("p50 response:      {}", stats.percentile_response(0.50));
     println!("p95 response:      {}", stats.percentile_response(0.95));
@@ -131,6 +173,50 @@ mod tests {
         )
         .unwrap();
         run(&args).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn grid_command_accepts_faults_flag() {
+        let path = std::env::temp_dir().join("fbc_cli_grid_faults_test.trace");
+        Trace::new(
+            FileCatalog::from_sizes(vec![1_000_000; 2]),
+            vec![Bundle::from_raw([0]), Bundle::from_raw([1])],
+        )
+        .save(&path)
+        .unwrap();
+        let base = [
+            "--trace",
+            path.to_str().unwrap(),
+            "--cache",
+            "4MiB",
+            "--mount-secs",
+            "0.5",
+        ];
+        let with =
+            |extra: &[&str]| Args::parse(base.iter().chain(extra).map(|s| s.to_string())).unwrap();
+        // A blackout with a tiny retry budget still terminates.
+        run(&with(&[
+            "--faults",
+            "preset:blackout",
+            "--max-retries",
+            "1",
+        ]))
+        .unwrap();
+        // Inline clause spec with a timeout.
+        run(&with(&[
+            "--faults",
+            "drive=*,0,2;seed=3",
+            "--fetch-timeout-secs",
+            "1",
+        ]))
+        .unwrap();
+        // Garbage specs are rejected with a helpful error.
+        assert!(run(&with(&["--faults", "nonsense"])).is_err());
+        assert!(run(&with(&["--faults", "preset:unknown"])).is_err());
+        // An out-of-range drive index is a clean error, not a panic.
+        let err = run(&with(&["--faults", "drive=9,0,10"])).unwrap_err();
+        assert!(err.0.contains("drive 9"), "unhelpful error: {}", err.0);
         std::fs::remove_file(&path).ok();
     }
 }

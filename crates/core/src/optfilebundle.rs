@@ -374,7 +374,11 @@ impl CachePolicy for OptFileBundle {
             // Replacement decision (Algorithm 2 Steps 1-3): reserve space
             // for the whole incoming bundle, let OptCacheSelect fill the
             // rest of the cache with the most valuable historical bundles.
-            let select_capacity = cache.capacity() - requested_bytes;
+            // `requested_bytes == capacity()` is reachable (the size guard
+            // above rejects only strictly-larger bundles), so the subtraction
+            // must not underflow: a bundle filling the whole cache leaves
+            // zero capacity for retained selections.
+            let select_capacity = cache.capacity().saturating_sub(requested_bytes);
             let (retained, prefetch) =
                 self.decide_retained(cache, catalog, bundle, select_capacity);
             let prefetch_bytes: Bytes = prefetch.iter().map(|&f| catalog.size(f)).sum();
@@ -543,6 +547,23 @@ mod tests {
         assert!(cache.is_empty());
         // Still recorded in the history.
         assert_eq!(ofb.history().len(), 1);
+    }
+
+    #[test]
+    fn bundle_exactly_filling_cache_is_serviced() {
+        // Regression: a bundle whose size equals the cache capacity passes
+        // the `> capacity` guard, and the replacement path must not
+        // underflow computing `capacity - requested` (reserve = 0).
+        let catalog = FileCatalog::from_sizes(vec![4, 6, 3]);
+        let mut cache = CacheState::new(10);
+        let mut ofb = OptFileBundle::new();
+        ofb.handle(&b(&[2]), &mut cache, &catalog); // resident f2 forces eviction
+        let out = ofb.handle(&b(&[0, 1]), &mut cache, &catalog);
+        assert!(out.serviced && !out.hit);
+        assert_eq!(out.fetched_bytes, 10);
+        assert_eq!(out.evicted_files, vec![FileId(2)]);
+        assert_eq!(cache.used(), 10);
+        assert!(cache.supports(&b(&[0, 1])));
     }
 
     #[test]

@@ -6,17 +6,27 @@
 //! [`Link`] (FIFO WAN); after the data arrives the job processes it and
 //! completes. Response times, throughput and cache metrics come out.
 //!
-//! One modelling simplification (documented in DESIGN.md): the cache state
-//! is updated at *decision* time while the transfer occupies virtual time —
-//! i.e. space is reserved for in-flight files, and the job's files are
-//! pinned from decision to completion so no concurrent decision can evict
-//! them.
+//! Under a [`FaultPlan`] the engine also models failure: fetches stretched
+//! or stranded by outage windows, transient fetch errors, and per-fetch
+//! timeouts are retried with exponential backoff (see
+//! [`RetryPolicy`]); a job whose retry budget runs out is reported
+//! `failed` and its service slot is released, so the simulation always
+//! terminates.
+//!
+//! Two modelling simplifications (documented in DESIGN.md): the cache
+//! state is updated at *decision* time while the transfer occupies virtual
+//! time — i.e. space is reserved for in-flight files, and the job's files
+//! are pinned from decision to completion so no concurrent decision can
+//! evict them. Consequently a failed fetch does not roll the cache state
+//! back; the decision-time bookkeeping stands, consistent with the same
+//! simplification on the success path.
 
 use crate::client::JobArrival;
 use crate::event::EventQueue;
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::mss::{MassStorage, MssConfig};
 use crate::network::{Link, LinkConfig};
-use crate::srm::{pin_bundle, unpin_bundle, SrmConfig};
+use crate::srm::{pin_bundle, unpin_bundle, RetryPolicy, SrmConfig};
 use crate::stats::GridStats;
 use crate::time::SimTime;
 use fbc_core::cache::CacheState;
@@ -33,12 +43,19 @@ pub struct GridConfig {
     pub mss: MssConfig,
     /// The WAN link between MSS and SRM cache.
     pub link: LinkConfig,
+    /// How failed or stalled fetches are retried before a job is failed.
+    pub retry: RetryPolicy,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     Arrival(usize),
     FetchDone(usize),
+    /// A fetch attempt failed (timeout, stranded by a permanent outage, or
+    /// transient error); the SRM decides between retry and giving up.
+    FetchFailed(usize),
+    /// Backoff elapsed: issue the next fetch attempt.
+    RetryFetch(usize),
     ProcessDone(usize),
 }
 
@@ -47,6 +64,66 @@ struct JobState {
     arrival: SimTime,
     fetched_bytes: u64,
     requested_bytes: u64,
+    /// Fetch attempts issued so far (including the one in flight).
+    attempts: u32,
+}
+
+/// Issues one fetch attempt for job `i` at `now`, scheduling either
+/// `FetchDone` or `FetchFailed`.
+#[allow(clippy::too_many_arguments)]
+fn issue_fetch(
+    i: usize,
+    now: SimTime,
+    config: &GridConfig,
+    mss: &mut MassStorage,
+    link: &mut Link,
+    faults: &mut Option<FaultInjector>,
+    events: &mut EventQueue<Event>,
+    stats: &mut GridStats,
+    jobs: &mut [JobState],
+) {
+    let bytes = jobs[i].fetched_bytes;
+    if bytes == 0 {
+        // Pure cache hit: nothing to fetch, nothing that can fail.
+        events.schedule(now, Event::FetchDone(i));
+        return;
+    }
+    stats.fetch_attempts += 1;
+    jobs[i].attempts += 1;
+    let read_done = mss.schedule_fetch_with(now, bytes, faults.as_ref());
+    let arrive = read_done.and_then(|t| link.schedule_transfer_with(t, bytes, faults.as_ref()));
+    let deadline = config.retry.fetch_timeout.map(|t| now + t);
+    match arrive {
+        Some(done) => {
+            if let Some(deadline) = deadline {
+                if done > deadline {
+                    // The attempt would finish, but not before the SRM gives
+                    // up on it. The drive/link stay occupied (no cancellation
+                    // in the MSS protocol); the SRM just stops waiting.
+                    stats.fetch_timeouts += 1;
+                    events.schedule(deadline, Event::FetchFailed(i));
+                    return;
+                }
+            }
+            let transient = faults
+                .as_mut()
+                .is_some_and(|inj| inj.draw_transient_failure());
+            if transient {
+                stats.transient_fetch_errors += 1;
+                events.schedule(done, Event::FetchFailed(i));
+            } else {
+                events.schedule(done, Event::FetchDone(i));
+            }
+        }
+        None => {
+            // A permanent outage strands the attempt: it can never complete.
+            // With a timeout the SRM notices at the deadline; without one it
+            // would wait forever, so fail the attempt immediately — the
+            // simulation must terminate either way.
+            stats.fetch_timeouts += 1;
+            events.schedule(deadline.unwrap_or(now), Event::FetchFailed(i));
+        }
+    }
 }
 
 /// Runs the grid simulation to completion and returns its statistics.
@@ -59,6 +136,23 @@ pub fn run_grid(
     arrivals: &[JobArrival],
     config: &GridConfig,
 ) -> GridStats {
+    run_grid_with_faults(policy, catalog, arrivals, config, None)
+}
+
+/// Runs the grid simulation under an optional [`FaultPlan`].
+///
+/// `run_grid` is this with `plan = None`. A `Some` plan compiles into a
+/// [`FaultInjector`]; a zero-fault plan ([`FaultPlan::is_zero_fault`])
+/// draws nothing from the plan's generator and produces byte-identical
+/// statistics to a `None` run — see the determinism contract in
+/// [`crate::faults`].
+pub fn run_grid_with_faults(
+    policy: &mut dyn CachePolicy,
+    catalog: &FileCatalog,
+    arrivals: &[JobArrival],
+    config: &GridConfig,
+    plan: Option<&FaultPlan>,
+) -> GridStats {
     let bundles: Vec<_> = arrivals.iter().map(|a| a.bundle.clone()).collect();
     policy.prepare(&bundles);
 
@@ -70,6 +164,7 @@ pub fn run_grid(
     let mut cache = CacheState::new(config.srm.cache_size);
     let mut mss = MassStorage::new(config.mss);
     let mut link = Link::new(config.link);
+    let mut faults = plan.map(|p| FaultInjector::new(p, config.mss.drives));
     let mut stats = GridStats::default();
 
     let mut jobs: Vec<JobState> = arrivals
@@ -78,6 +173,7 @@ pub fn run_grid(
             arrival: a.at,
             fetched_bytes: 0,
             requested_bytes: 0,
+            attempts: 0,
         })
         .collect();
     let mut queue: VecDeque<usize> = VecDeque::new();
@@ -93,6 +189,36 @@ pub fn run_grid(
                 let processing = config.srm.processing_time(jobs[i].requested_bytes);
                 events.schedule(now + processing, Event::ProcessDone(i));
                 continue; // no new service slot freed
+            }
+            Event::FetchFailed(i) => {
+                if jobs[i].attempts <= config.retry.max_retries {
+                    stats.fetch_retries += 1;
+                    let jitter = faults
+                        .as_mut()
+                        .map_or(1.0, |inj| inj.backoff_jitter(config.retry.jitter_frac));
+                    let delay = config.retry.backoff(jobs[i].attempts, jitter);
+                    events.schedule(now + delay, Event::RetryFetch(i));
+                    continue; // slot stays held while backing off
+                }
+                // Retry budget exhausted: give the job up gracefully.
+                unpin_bundle(&mut cache, &arrivals[i].bundle);
+                in_service -= 1;
+                stats.failed += 1;
+                // Fall through: a service slot is now free.
+            }
+            Event::RetryFetch(i) => {
+                issue_fetch(
+                    i,
+                    now,
+                    config,
+                    &mut mss,
+                    &mut link,
+                    &mut faults,
+                    &mut events,
+                    &mut stats,
+                    &mut jobs,
+                );
+                continue;
             }
             Event::ProcessDone(i) => {
                 unpin_bundle(&mut cache, &arrivals[i].bundle);
@@ -131,13 +257,17 @@ pub fn run_grid(
             in_service += 1;
             jobs[i].fetched_bytes = outcome.fetched_bytes;
             jobs[i].requested_bytes = outcome.requested_bytes;
-            if outcome.fetched_bytes > 0 {
-                let read_done = mss.schedule_fetch(now, outcome.fetched_bytes);
-                let arrive = link.schedule_transfer(read_done, outcome.fetched_bytes);
-                events.schedule(arrive, Event::FetchDone(i));
-            } else {
-                events.schedule(now, Event::FetchDone(i));
-            }
+            issue_fetch(
+                i,
+                now,
+                config,
+                &mut mss,
+                &mut link,
+                &mut faults,
+                &mut events,
+                &mut stats,
+                &mut jobs,
+            );
         }
     }
 
@@ -170,6 +300,7 @@ mod tests {
                 latency: SimDuration::from_millis(1),
                 bandwidth: 100e6,
             },
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -186,9 +317,11 @@ mod tests {
         let stats = run_grid(&mut policy, &catalog, &arrivals, &quick_config(4_000_000));
         assert_eq!(stats.completed, 4);
         assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.failed, 0);
         assert_eq!(stats.response_times.len(), 4);
         assert!(stats.makespan > SimDuration::ZERO);
         assert!(stats.throughput() > 0.0);
+        assert_eq!(stats.availability(), 1.0);
     }
 
     #[test]
@@ -255,5 +388,73 @@ mod tests {
             (s.completed, s.makespan, s.response_times.clone())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_no_injector_run() {
+        let catalog = FileCatalog::from_sizes(vec![1_000_000; 8]);
+        let jobs: Vec<Bundle> = (0..20).map(|i| b(&[i % 8, (i + 1) % 8])).collect();
+        let arrivals = schedule_arrivals(
+            &jobs,
+            ArrivalProcess::Poisson {
+                rate: 2.0,
+                seed: 42,
+            },
+        );
+        let cfg = quick_config(3_000_000);
+        let mut p1 = OptFileBundle::new();
+        let plain = run_grid(&mut p1, &catalog, &arrivals, &cfg);
+        let mut p2 = OptFileBundle::new();
+        let zero =
+            run_grid_with_faults(&mut p2, &catalog, &arrivals, &cfg, Some(&FaultPlan::none()));
+        assert_eq!(plain, zero);
+    }
+
+    #[test]
+    fn outage_then_repair_retries_to_success() {
+        // Both drives down for the first 60 s and a 10 s fetch timeout: the
+        // first attempts strand, back off, and succeed after the repair.
+        let catalog = FileCatalog::from_sizes(vec![1_000_000; 2]);
+        let jobs = vec![b(&[0]), b(&[1])];
+        let arrivals = schedule_arrivals(&jobs, ArrivalProcess::Batch);
+        let mut cfg = quick_config(4_000_000);
+        cfg.retry = RetryPolicy {
+            max_retries: 8,
+            base_backoff: SimDuration::from_secs(20),
+            max_backoff: SimDuration::from_secs(20),
+            jitter_frac: 0.0,
+            fetch_timeout: Some(SimDuration::from_secs(10)),
+        };
+        let plan = FaultPlan::parse("drive=*,0,60").unwrap();
+        let mut policy = OptFileBundle::new();
+        let stats = run_grid_with_faults(&mut policy, &catalog, &arrivals, &cfg, Some(&plan));
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 0);
+        assert!(
+            stats.fetch_retries > 0,
+            "expected retries during the outage"
+        );
+        assert!(stats.fetch_timeouts > 0);
+        assert_eq!(stats.availability(), 1.0);
+        // The outage pushes completion past the repair time.
+        assert!(stats.makespan >= SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn permanent_blackout_fails_jobs_without_hanging() {
+        let catalog = FileCatalog::from_sizes(vec![1_000_000; 3]);
+        let jobs = vec![b(&[0]), b(&[1]), b(&[2])];
+        let arrivals = schedule_arrivals(&jobs, ArrivalProcess::Batch);
+        let mut cfg = quick_config(4_000_000);
+        cfg.retry.max_retries = 2;
+        let plan = FaultPlan::preset("blackout").unwrap();
+        let mut policy = OptFileBundle::new();
+        let stats = run_grid_with_faults(&mut policy, &catalog, &arrivals, &cfg, Some(&plan));
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.failed, 3);
+        assert_eq!(stats.availability(), 0.0);
+        // Every job used its whole budget: 3 attempts, 2 retries each.
+        assert_eq!(stats.fetch_attempts, 9);
+        assert_eq!(stats.fetch_retries, 6);
     }
 }

@@ -32,6 +32,7 @@
 pub mod client;
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod mss;
 pub mod multi;
 pub mod network;
@@ -42,12 +43,13 @@ pub mod stats;
 pub mod time;
 
 pub use client::{schedule_arrivals, ArrivalProcess, JobArrival};
-pub use engine::{run_grid, GridConfig};
+pub use engine::{run_grid, run_grid_with_faults, GridConfig};
+pub use faults::{DriveSelector, FaultInjector, FaultPlan, RateWindow, FOREVER};
 pub use mss::{MassStorage, MssConfig};
 pub use multi::{run_multi_grid, Dispatch, MultiGridConfig, MultiGridStats};
 pub use network::{Link, LinkConfig};
 pub use replica::{run_grid_replicated, Placement, ReplicaGridConfig};
-pub use scenario::{run_scenario, ScenarioConfig};
-pub use srm::SrmConfig;
-pub use stats::GridStats;
+pub use scenario::{run_scenario, run_scenario_with_faults, ScenarioConfig};
+pub use srm::{RetryPolicy, SrmConfig};
+pub use stats::{GridReport, GridStats};
 pub use time::{SimDuration, SimTime};

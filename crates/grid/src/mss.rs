@@ -5,6 +5,7 @@
 //! streaming read at drive bandwidth, on a limited number of concurrent
 //! drives. Requests beyond drive capacity queue for the earliest-free drive.
 
+use crate::faults::FaultInjector;
 use crate::time::{SimDuration, SimTime};
 use fbc_core::types::Bytes;
 
@@ -67,6 +68,23 @@ impl MassStorage {
     /// Schedules a fetch of `bytes` arriving at `now`; picks the
     /// earliest-free drive and returns the completion time.
     pub fn schedule_fetch(&mut self, now: SimTime, bytes: Bytes) -> SimTime {
+        self.schedule_fetch_with(now, bytes, None)
+            .expect("a fault-free fetch always completes")
+    }
+
+    /// Schedules a fetch under an optional fault injector.
+    ///
+    /// The earliest-free drive is picked exactly as in [`Self::schedule_fetch`];
+    /// with an injector the read is stretched by that drive's outage
+    /// windows (suspend semantics — work resumes after repair). Returns
+    /// `None`, charging the drive nothing, when the drive can never finish
+    /// the read (a permanent outage).
+    pub fn schedule_fetch_with(
+        &mut self,
+        now: SimTime,
+        bytes: Bytes,
+        faults: Option<&FaultInjector>,
+    ) -> Option<SimTime> {
         let drive = self
             .drive_free_at
             .iter()
@@ -75,11 +93,15 @@ impl MassStorage {
             .map(|(i, _)| i)
             .expect("at least one drive");
         let start = self.drive_free_at[drive].max(now);
-        let done = start + self.service_time(bytes);
+        let work = self.service_time(bytes);
+        let done = match faults {
+            None => start + work,
+            Some(inj) => inj.drive_completion(drive, start, work)?,
+        };
         self.drive_free_at[drive] = done;
         self.requests_served += 1;
         self.bytes_read += bytes;
-        done
+        Some(done)
     }
 
     /// Requests served so far.

@@ -365,6 +365,7 @@ mod tests {
             srm: cfg.srm,
             mss: cfg.mss,
             link: cfg.link,
+            retry: crate::srm::RetryPolicy::default(),
         };
         let mut policy = OptFileBundle::new();
         let single = crate::engine::run_grid(&mut policy, &catalog, &arrivals, &single_cfg);

@@ -6,6 +6,7 @@
 //! the paper's observation that file accesses "incur significant long delays
 //! … over wide area networks".
 
+use crate::faults::FaultInjector;
 use crate::time::{SimDuration, SimTime};
 use fbc_core::types::Bytes;
 
@@ -58,11 +59,31 @@ impl Link {
     /// Enqueues a transfer of `bytes` starting no earlier than `now`;
     /// returns its completion time (after any transfers already queued).
     pub fn schedule_transfer(&mut self, now: SimTime, bytes: Bytes) -> SimTime {
+        self.schedule_transfer_with(now, bytes, None)
+            .expect("a fault-free transfer always completes")
+    }
+
+    /// Enqueues a transfer under an optional fault injector.
+    ///
+    /// With an injector the transfer is stretched by the link's outage and
+    /// bandwidth-degradation windows (suspend/slow-down semantics). Returns
+    /// `None`, leaving the link's queue untouched, when the link can never
+    /// finish the transfer (a permanent outage).
+    pub fn schedule_transfer_with(
+        &mut self,
+        now: SimTime,
+        bytes: Bytes,
+        faults: Option<&FaultInjector>,
+    ) -> Option<SimTime> {
         let start = self.free_at.max(now);
-        let done = start + self.transfer_time(bytes);
+        let work = self.transfer_time(bytes);
+        let done = match faults {
+            None => start + work,
+            Some(inj) => inj.link_completion(start, work)?,
+        };
         self.free_at = done;
         self.bytes_carried += bytes;
-        done
+        Some(done)
     }
 
     /// Total bytes carried so far.

@@ -2,7 +2,8 @@
 //! run the grid end-to-end with a chosen policy.
 
 use crate::client::{schedule_arrivals, ArrivalProcess};
-use crate::engine::{run_grid, GridConfig};
+use crate::engine::{run_grid_with_faults, GridConfig};
+use crate::faults::FaultPlan;
 use crate::stats::GridStats;
 use fbc_core::policy::CachePolicy;
 use fbc_workload::{Workload, WorkloadConfig};
@@ -21,11 +22,20 @@ pub struct ScenarioConfig {
 
 /// Generates the workload and runs the grid; returns the statistics.
 pub fn run_scenario(policy: &mut dyn CachePolicy, cfg: &ScenarioConfig) -> GridStats {
+    run_scenario_with_faults(policy, cfg, None)
+}
+
+/// [`run_scenario`] under an optional fault plan.
+pub fn run_scenario_with_faults(
+    policy: &mut dyn CachePolicy,
+    cfg: &ScenarioConfig,
+    plan: Option<&FaultPlan>,
+) -> GridStats {
     let mut wl_cfg = cfg.workload;
     wl_cfg.cache_size = cfg.grid.srm.cache_size;
     let workload = Workload::generate(wl_cfg);
     let arrivals = schedule_arrivals(&workload.jobs, cfg.arrivals);
-    run_grid(policy, &workload.catalog, &arrivals, &cfg.grid)
+    run_grid_with_faults(policy, &workload.catalog, &arrivals, &cfg.grid, plan)
 }
 
 #[cfg(test)]

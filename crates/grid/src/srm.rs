@@ -47,6 +47,54 @@ impl SrmConfig {
     }
 }
 
+/// How the SRM reacts to failed or stalled fetches: exponential backoff
+/// with seeded jitter, a bounded retry budget, and an optional per-fetch
+/// timeout. After the budget is exhausted the job is reported `failed` —
+/// the simulation degrades gracefully instead of hanging or panicking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// How many times a failed fetch is retried before the job fails
+    /// (total attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: SimDuration,
+    /// Upper bound on any single backoff delay (before jitter).
+    pub max_backoff: SimDuration,
+    /// Jitter fraction: each backoff is scaled by a seeded factor in
+    /// `[1, 1 + jitter_frac)`. Zero keeps backoff fully deterministic and
+    /// draw-free.
+    pub jitter_frac: f64,
+    /// Abandon a fetch attempt that has not completed after this long.
+    /// `None` disables timeouts; a fetch that can *never* complete (a
+    /// permanent outage) is then failed immediately at issue time so the
+    /// simulation still terminates.
+    pub fetch_timeout: Option<SimDuration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 5,
+            base_backoff: SimDuration::from_millis(500),
+            max_backoff: SimDuration::from_secs(60),
+            jitter_frac: 0.1,
+            fetch_timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay after the `failed_attempts`-th consecutive failure
+    /// (1-based), scaled by a pre-drawn `jitter` factor.
+    pub fn backoff(&self, failed_attempts: u32, jitter: f64) -> SimDuration {
+        debug_assert!(failed_attempts >= 1, "backoff before any failure");
+        let shift = failed_attempts.saturating_sub(1).min(20);
+        let exp = self.base_backoff.micros().saturating_mul(1u64 << shift);
+        let capped = exp.min(self.max_backoff.micros());
+        SimDuration((capped as f64 * jitter).round() as u64)
+    }
+}
+
 /// Pins every file of `bundle` in the cache (all must be resident).
 pub fn pin_bundle(cache: &mut CacheState, bundle: &Bundle) {
     for f in bundle.iter() {
@@ -89,6 +137,29 @@ mod tests {
             ..SrmConfig::default()
         };
         assert_eq!(cfg.processing_time(u64::MAX).micros(), 5_000);
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let rp = RetryPolicy {
+            base_backoff: SimDuration::from_secs(1),
+            max_backoff: SimDuration::from_secs(5),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(rp.backoff(1, 1.0), SimDuration::from_secs(1));
+        assert_eq!(rp.backoff(2, 1.0), SimDuration::from_secs(2));
+        assert_eq!(rp.backoff(3, 1.0), SimDuration::from_secs(4));
+        assert_eq!(rp.backoff(4, 1.0), SimDuration::from_secs(5)); // capped
+        assert_eq!(rp.backoff(40, 1.0), SimDuration::from_secs(5)); // no overflow
+    }
+
+    #[test]
+    fn backoff_jitter_scales() {
+        let rp = RetryPolicy {
+            base_backoff: SimDuration::from_secs(1),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(rp.backoff(1, 1.5), SimDuration::from_millis(1500));
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! End-to-end statistics of a grid simulation: job response times,
-//! throughput, and the underlying cache metrics.
+//! throughput, availability under faults, and the underlying cache
+//! metrics.
 
 use crate::time::SimDuration;
 use fbc_sim::metrics::Metrics;
+use fbc_sim::report::{f4, Table};
 
 /// Results of one grid run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GridStats {
     /// Cache-level accounting (hits, bytes fetched, …).
     pub cache: Metrics,
@@ -13,6 +15,18 @@ pub struct GridStats {
     pub completed: u64,
     /// Jobs rejected (bundle larger than the entire cache).
     pub rejected: u64,
+    /// Jobs that exhausted their fetch retry budget and were abandoned.
+    pub failed: u64,
+    /// Fetch attempts issued to the MSS + link (first tries and retries).
+    pub fetch_attempts: u64,
+    /// Retries scheduled after a failed or timed-out fetch attempt.
+    pub fetch_retries: u64,
+    /// Fetch attempts abandoned at the timeout deadline (or immediately,
+    /// when the service can never complete the read and no timeout is
+    /// configured).
+    pub fetch_timeouts: u64,
+    /// Fetch attempts that completed their transfer but failed transiently.
+    pub transient_fetch_errors: u64,
     /// Response time (arrival → completion) of every completed job, in
     /// completion order.
     pub response_times: Vec<SimDuration>,
@@ -50,6 +64,69 @@ impl GridStats {
             self.completed as f64 / secs
         }
     }
+
+    /// Fraction of serviceable jobs that actually completed:
+    /// `completed / (completed + failed)`. Rejected jobs (infeasibly large
+    /// bundles) don't count against availability; a run with no
+    /// serviceable jobs reports 1.0.
+    pub fn availability(&self) -> f64 {
+        let attempted = self.completed + self.failed;
+        if attempted == 0 {
+            1.0
+        } else {
+            self.completed as f64 / attempted as f64
+        }
+    }
+
+    /// Renders the run as a two-column report.
+    pub fn report(&self, policy: &str) -> GridReport {
+        GridReport::new(policy, self)
+    }
+}
+
+/// A rendered summary of one grid run.
+///
+/// The rendering is a pure function of the statistics, so determinism
+/// tests can compare two runs byte for byte via [`GridReport::as_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridReport {
+    text: String,
+}
+
+impl GridReport {
+    /// Builds the report table for `stats` produced by `policy`.
+    pub fn new(policy: &str, stats: &GridStats) -> Self {
+        let mut t = Table::new(["metric", "value"]);
+        t.add_row(["policy", policy]);
+        t.add_row(["completed", &stats.completed.to_string()]);
+        t.add_row(["failed", &stats.failed.to_string()]);
+        t.add_row(["rejected", &stats.rejected.to_string()]);
+        t.add_row(["availability", &f4(stats.availability())]);
+        t.add_row(["byte miss ratio", &f4(stats.cache.byte_miss_ratio())]);
+        t.add_row(["fetch attempts", &stats.fetch_attempts.to_string()]);
+        t.add_row(["fetch retries", &stats.fetch_retries.to_string()]);
+        t.add_row(["fetch timeouts", &stats.fetch_timeouts.to_string()]);
+        t.add_row([
+            "transient errors",
+            &stats.transient_fetch_errors.to_string(),
+        ]);
+        t.add_row(["mean response", &stats.mean_response().to_string()]);
+        t.add_row(["p95 response", &stats.percentile_response(0.95).to_string()]);
+        t.add_row(["makespan", &stats.makespan.to_string()]);
+        t.add_row(["throughput (jobs/s)", &format!("{:.3}", stats.throughput())]);
+        Self { text: t.to_ascii() }
+    }
+
+    /// The rendered report text.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+}
+
+impl std::fmt::Display for GridReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
 }
 
 #[cfg(test)]
@@ -81,5 +158,36 @@ mod tests {
         assert_eq!(s.mean_response(), SimDuration::ZERO);
         assert_eq!(s.percentile_response(0.5), SimDuration::ZERO);
         assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.availability(), 1.0);
+    }
+
+    #[test]
+    fn availability_counts_failed_jobs() {
+        let s = GridStats {
+            completed: 3,
+            failed: 1,
+            rejected: 2, // excluded from the denominator
+            ..GridStats::default()
+        };
+        assert!((s.availability() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_is_a_pure_function_of_stats() {
+        let s = GridStats {
+            completed: 5,
+            failed: 1,
+            fetch_attempts: 9,
+            fetch_retries: 3,
+            ..GridStats::default()
+        };
+        let a = s.report("OptFileBundle");
+        let b = s.report("OptFileBundle");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), b.as_str());
+        let text = a.as_str();
+        assert!(text.contains("availability"));
+        assert!(text.contains("fetch retries"));
+        assert!(text.contains("OptFileBundle"));
     }
 }

@@ -138,14 +138,23 @@ impl Metrics {
 
     /// Merges another accumulator's totals into this one (series points are
     /// appended; windows are not merged).
+    ///
+    /// Appended series points are re-based onto this accumulator's job axis:
+    /// `other`'s points count jobs from *its* start, so each gets offset by
+    /// the number of jobs already in `self`, keeping the merged series
+    /// monotonically increasing in `jobs`.
     pub fn merge(&mut self, other: &Metrics) {
+        let base_jobs = self.jobs;
         self.jobs += other.jobs;
         self.serviced += other.serviced;
         self.hits += other.hits;
         self.requested_bytes += other.requested_bytes;
         self.fetched_bytes += other.fetched_bytes;
         self.evicted_bytes += other.evicted_bytes;
-        self.series.extend(other.series.iter().copied());
+        self.series.extend(other.series.iter().map(|p| SeriesPoint {
+            jobs: base_jobs + p.jobs,
+            ..*p
+        }));
     }
 }
 
@@ -217,6 +226,29 @@ mod tests {
         assert_eq!(a.jobs, 2);
         assert_eq!(a.requested_bytes, 40);
         assert!((a.byte_miss_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_rebases_series_onto_receiver_job_axis() {
+        // Two halves of a sharded run, each recording a point every 2 jobs.
+        let mut a = Metrics::with_series_window(2);
+        for _ in 0..4 {
+            a.record(&outcome(false, 10, 10));
+        }
+        let mut b = Metrics::with_series_window(2);
+        for _ in 0..4 {
+            b.record(&outcome(true, 10, 0));
+        }
+        a.merge(&b);
+
+        // b's points counted jobs from b's own start; merged they must
+        // continue a's axis: 2, 4, 6, 8 — strictly increasing.
+        let jobs: Vec<u64> = a.series.iter().map(|p| p.jobs).collect();
+        assert_eq!(jobs, vec![2, 4, 6, 8]);
+        assert!(jobs.windows(2).all(|w| w[0] < w[1]), "series not monotonic");
+        // Ratios within each window are unchanged by the re-basing.
+        assert!((a.series[2].byte_miss_ratio - 0.0).abs() < 1e-12);
+        assert!((a.series[1].byte_miss_ratio - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -2,12 +2,12 @@
 //!
 //! The paper's evaluation burned "over 1000 hours of CPU time" across many
 //! parameter combinations; this module spreads independent simulation runs
-//! over OS threads with crossbeam's scoped threads. Each run is a pure
-//! function of its configuration (seeded RNGs), so results are independent
-//! of scheduling and identical to a sequential sweep.
+//! over OS threads with `std::thread::scope`. Each run is a pure function
+//! of its configuration (seeded RNGs), so results are independent of
+//! scheduling and identical to a sequential sweep.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Runs `f` over every config, in parallel on up to `threads` workers, and
 /// returns the outputs in input order.
@@ -31,22 +31,22 @@ where
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let r = f(&configs[i]);
-                results.lock()[i] = Some(r);
+                results.lock().expect("sweep worker panicked")[i] = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     results
         .into_inner()
+        .expect("sweep worker panicked")
         .into_iter()
         .map(|r| r.expect("every slot filled"))
         .collect()

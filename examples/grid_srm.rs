@@ -36,6 +36,7 @@ fn main() {
                 latency: SimDuration::from_millis(30),
                 bandwidth: 125.0e6,
             },
+            retry: RetryPolicy::default(),
         },
         arrivals: ArrivalProcess::Poisson {
             rate: 1.5,

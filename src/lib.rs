@@ -55,7 +55,8 @@ pub mod prelude {
     };
     pub use fbc_core::prelude::*;
     pub use fbc_grid::{
-        run_grid, run_scenario, ArrivalProcess, GridConfig, GridStats, LinkConfig, MssConfig,
+        run_grid, run_grid_with_faults, run_scenario, run_scenario_with_faults, ArrivalProcess,
+        FaultPlan, GridConfig, GridReport, GridStats, LinkConfig, MssConfig, RetryPolicy,
         ScenarioConfig, SimDuration, SimTime, SrmConfig,
     };
     pub use fbc_sim::{

@@ -150,6 +150,7 @@ fn single_node_multi_grid_equals_engine() {
             srm,
             mss: MssConfig::default(),
             link: LinkConfig::default(),
+            retry: RetryPolicy::default(),
         },
     );
     assert_eq!(multi.overall.completed, single.completed);

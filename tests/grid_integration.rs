@@ -21,6 +21,7 @@ fn config(cache_size: Bytes) -> GridConfig {
             latency: SimDuration::from_millis(20),
             bandwidth: 125.0e6,
         },
+        retry: RetryPolicy::default(),
     }
 }
 
@@ -136,4 +137,33 @@ fn scenario_wrapper_matches_manual_pipeline() {
     assert_eq!(via_scenario.completed, manual.completed);
     assert_eq!(via_scenario.cache.fetched_bytes, manual.cache.fetched_bytes);
     assert_eq!(via_scenario.makespan, manual.makespan);
+}
+
+#[test]
+fn fault_injection_through_the_facade() {
+    let (catalog, jobs) = workload(9);
+    let arrivals = schedule_arrivals(&jobs, ArrivalProcess::Poisson { rate: 4.0, seed: 6 });
+    let plan = FaultPlan::parse("transient=0.2;seed=3").expect("valid spec");
+    let run = || {
+        let mut policy = OptFileBundle::new();
+        run_grid_with_faults(
+            &mut policy,
+            &catalog,
+            &arrivals,
+            &config(2 * GIB),
+            Some(&plan),
+        )
+    };
+    let a = run();
+    assert_eq!(a, run(), "faulted runs must be reproducible");
+    assert!(a.completed > 0);
+    assert!(a.transient_fetch_errors > 0, "20% transient rate must bite");
+    assert_eq!(
+        a.completed + a.rejected + a.failed,
+        jobs.len() as u64,
+        "every job accounted for"
+    );
+    // The rendered report carries the availability metrics.
+    let report = a.report("optfilebundle");
+    assert!(report.as_str().contains("availability"));
 }

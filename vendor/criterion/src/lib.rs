@@ -1,0 +1,292 @@
+//! In-tree offline shim for `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the criterion 0.5 API the workspace's benches use, backed
+//! by a simple median-of-samples wall-clock timer. It produces one
+//! readable line per benchmark instead of criterion's full statistical
+//! report:
+//!
+//! ```text
+//! grid_engine/single_srm/500  median 12.345 ms  (10 samples)  40.5 Kelem/s
+//! ```
+//!
+//! Calibration: each sample runs the routine enough times to take roughly
+//! `TARGET_SAMPLE_TIME` (50 ms); the per-iteration time is the sample time
+//! divided by the iteration count; the reported value is the median over
+//! `sample_size` samples.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Roughly how long one measured sample should take.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(50);
+
+/// Re-export of the standard black box (criterion's is equivalent).
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, `name/param`.
+    pub fn new<P: std::fmt::Display>(name: &str, param: P) -> Self {
+        Self {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: std::fmt::Display>(param: P) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to the measured closure; drives timed iterations.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in the target sample time?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.1} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.1} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// The benchmark harness root.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Default-configured harness (10 samples per benchmark).
+    pub fn new() -> Self {
+        Self { sample_size: 10 }
+    }
+
+    /// Begins a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let ns = run_bench(self.sample_size, &mut f);
+        report(name, ns, self.sample_size, None);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let ns = run_bench(samples, &mut |b: &mut Bencher| f(b, input));
+        report(
+            &format!("{}/{}", self.name, id),
+            ns,
+            samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs a benchmark without an explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let ns = run_bench(samples, &mut f);
+        report(
+            &format!("{}/{name}", self.name),
+            ns,
+            samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (reporting is incremental, so this is cosmetic).
+    pub fn finish(&mut self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(sample_size: usize, f: &mut F) -> f64 {
+    let mut bencher = Bencher {
+        ns_per_iter: 0.0,
+        sample_size,
+    };
+    f(&mut bencher);
+    bencher.ns_per_iter
+}
+
+fn report(id: &str, ns: f64, samples: usize, throughput: Option<Throughput>) {
+    let mut line = format!("{id}  median {}  ({samples} samples)", human_time(ns));
+    match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            let _ = write!(line, "  {}", human_rate(n as f64 / (ns / 1e9), "elem"));
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            let _ = write!(line, "  {}", human_rate(n as f64 / (ns / 1e9), "B"));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::new();
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("case", 1), &41u64, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        group.bench_function("plain", |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_time(12.0), "12.0 ns");
+        assert_eq!(human_time(1_500.0), "1.500 µs");
+        assert_eq!(human_time(2_000_000.0), "2.000 ms");
+        assert!(human_rate(5e6, "elem").contains("Melem/s"));
+    }
+}

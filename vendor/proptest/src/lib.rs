@@ -1,0 +1,379 @@
+//! In-tree offline shim for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the proptest API the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro with `#![proptest_config(...)]`, `name in
+//!   strategy` and `name: Type` bindings (the latter drawing from
+//!   [`any`]),
+//! - [`Strategy`] with [`Strategy::prop_map`] / [`Strategy::prop_flat_map`],
+//!   implemented for integer/float ranges, tuples and [`Just`],
+//! - [`collection::vec`] with exact, half-open or inclusive length specs,
+//! - `prop_assert!` / `prop_assert_eq!` (panic-based, like plain asserts).
+//!
+//! Each test case is generated from a **deterministic per-case seed**, so
+//! failures reproduce exactly on re-run. The shim does not shrink failing
+//! inputs — rerunning a failed test executes the identical input sequence,
+//! so a debugger or `dbg!` output pinpoints the offending values.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic generator driving one test case.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// The generator for the `case`-th run of a property (deterministic).
+    pub fn deterministic(case: u64) -> Self {
+        // Distinct, well-mixed seed per case; constant chosen arbitrarily.
+        TestRng(StdRng::seed_from_u64(
+            0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case.wrapping_add(1)),
+        ))
+    }
+
+    /// Access to the underlying rand generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Test-runner configuration (shim: only the case count is honoured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng.rng(), self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng.rng(), self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:ident $idx:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+);
+
+/// Whole-domain generation for `name: Type` bindings and [`any`].
+pub trait Arbitrary {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::Rng::gen(rng.rng())
+            }
+        }
+    )*};
+}
+
+impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy generating any value of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    /// Either boolean, uniformly.
+    pub const ANY: super::Any<bool> = super::Any(core::marker::PhantomData);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Acceptable length specifications for [`fn@vec`]: an exact `usize`, a
+    /// half-open `Range<usize>`, or a `RangeInclusive<usize>`.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rand::Rng::gen_range(rng.rng(), self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rand::Rng::gen_range(rng.rng(), self.clone())
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`fn@vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual imports for property tests.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Panic-based equivalent of proptest's `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Panic-based equivalent of proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Panic-based equivalent of proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests. Each `fn` body runs `cases` times with fresh
+/// deterministic random bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($params:tt)* ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..cfg.cases {
+                    let mut __proptest_rng = $crate::TestRng::deterministic(u64::from(__case));
+                    $crate::__proptest_bind! { __proptest_rng, ($($params)*), $body }
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, (), $body:block) => { $body };
+    ($rng:ident, (mut $n:ident in $s:expr $(, $($rest:tt)*)?), $body:block) => {{
+        let mut $n = $crate::Strategy::new_value(&($s), &mut $rng);
+        $crate::__proptest_bind! { $rng, ($($($rest)*)?), $body }
+    }};
+    // `$p:pat` also covers destructuring bindings like `(a, b) in strategy`.
+    ($rng:ident, ($p:pat in $s:expr $(, $($rest:tt)*)?), $body:block) => {{
+        let $p = $crate::Strategy::new_value(&($s), &mut $rng);
+        $crate::__proptest_bind! { $rng, ($($($rest)*)?), $body }
+    }};
+    ($rng:ident, ($n:ident: $ty:ty $(, $($rest:tt)*)?), $body:block) => {{
+        let $n: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind! { $rng, ($($($rest)*)?), $body }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = TestRng::deterministic(3);
+        let mut b = TestRng::deterministic(3);
+        let sa = crate::collection::vec(0u64..100, 5usize);
+        assert_eq!(sa.new_value(&mut a), sa.new_value(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_any_bind(x in 1u32..10, mut v in crate::collection::vec(0u8..4, 1..6), seed: u64) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            v.push(0);
+            prop_assert!(v.iter().all(|&e| e < 4));
+            let _ = seed;
+        }
+
+        #[test]
+        fn combinators_compose(pair in (1usize..4, 2u64..9).prop_flat_map(|(n, m)| {
+            (crate::collection::vec(0u64..m, n), Just(m))
+        }).prop_map(|(v, m)| (v.len(), v, m))) {
+            let (n, v, m) = pair;
+            prop_assert_eq!(n, v.len());
+            prop_assert!(v.iter().all(|&e| e < m));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_applies(b in crate::bool::ANY) {
+            let truthy = if b { b } else { !b };
+            prop_assert!(truthy);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! In-tree offline shim for `serde_derive`.
+//!
+//! Emits placeholder `Serialize` / `Deserialize` impls that satisfy the
+//! trait bounds of the companion in-tree `serde` shim. Built with the
+//! standard-library `proc_macro` API only (no `syn`/`quote`), since the
+//! build environment cannot fetch crates.
+//!
+//! Limitation: generic types are rejected with a compile error — every type
+//! deriving serde traits in this workspace is concrete.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the `struct`/`enum` the derive is attached to.
+///
+/// Panics (a compile error in derive position) when the item is generic:
+/// the shim intentionally keeps its parser trivial.
+fn item_name(input: &TokenStream) -> String {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde shim derive: expected type name, found {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    assert!(
+                        p.as_char() != '<',
+                        "serde shim derive does not support generic type `{name}`"
+                    );
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde shim derive: no struct/enum found in input");
+}
+
+/// Derives a placeholder `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(&input);
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize<S: serde::Serializer>(&self, serializer: S)\n\
+                 -> core::result::Result<S::Ok, S::Error> {{\n\
+                 serde::Serializer::unsupported(serializer, \"{name}\")\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Derives a placeholder `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(&input);
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::Deserializer<'de>>(deserializer: D)\n\
+                 -> core::result::Result<Self, D::Error> {{\n\
+                 serde::Deserializer::unsupported(deserializer, \"{name}\").map(|i| match i {{}})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
