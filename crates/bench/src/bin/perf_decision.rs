@@ -1,0 +1,279 @@
+//! Decision-path micro-benchmark: throughput (decisions/sec) and p50/p99
+//! per-decision latency of `OptCacheSelect` across history sizes `n` and
+//! file-degree regimes `d`, for all three greedy variants plus the retained
+//! reference shared-credit loop (`reference-kernels` feature).
+//!
+//! ```text
+//! cargo run --release -p fbc-bench --bin perf_decision            # full run
+//! cargo run --release -p fbc-bench --bin perf_decision -- --smoke # CI gate
+//! ```
+//!
+//! The full run writes `results/perf_decision.csv` and a machine-readable
+//! summary `BENCH_core.json` in the current directory (repo root). The
+//! `--smoke` mode writes nothing; it runs a reduced measurement and fails
+//! (non-zero exit) when either
+//!
+//! * the incremental kernel is not at least 2× the reference loop's
+//!   decisions/sec at `n = 2000, d ≈ 8` (machine-independent ratio), or
+//! * a committed `BENCH_core.json` exists and the measured headline
+//!   throughput regressed more than 2× against it.
+
+use fbc_bench::{banner, quick_mode, results_dir};
+use fbc_core::instance::FbcInstance;
+use fbc_core::select::{
+    best_single, greedy_shared_credit_reference, opt_cache_select_with_scratch, GreedyVariant,
+    SelectOptions, SelectScratch,
+};
+use fbc_sim::report::Table;
+use std::time::Instant;
+
+/// Deterministic xorshift64 generator (no external RNG needed here).
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Builds a synthetic selection instance with `n` requests of ~`b` files
+/// each over `m = n·b/d` files, so the expected file degree is `d` — the
+/// quantity the kernel's `O(b · d · log n)` per-iteration bound depends on.
+fn instance(n: usize, b: usize, d: usize, seed: u64) -> FbcInstance {
+    let mut state = seed;
+    let m = ((n * b) / d).max(b + 1);
+    let sizes: Vec<u64> = (0..m).map(|_| xorshift(&mut state) % 100 + 1).collect();
+    let total: u64 = sizes.iter().sum();
+    let requests: Vec<(Vec<u32>, f64)> = (0..n)
+        .map(|_| {
+            let k = b / 2 + (xorshift(&mut state) as usize) % b;
+            let files: Vec<u32> = (0..k.max(1))
+                .map(|_| (xorshift(&mut state) % m as u64) as u32)
+                .collect();
+            (files, (xorshift(&mut state) % 100 + 1) as f64)
+        })
+        .collect();
+    // 25% of the population fits: enough pressure that the greedy loop runs
+    // many selection iterations without degenerating to "take everything".
+    FbcInstance::new(total / 4, sizes, requests).expect("valid synthetic instance")
+}
+
+/// Times `f` for `iters` iterations (after `warmup` unrecorded ones) and
+/// returns per-iteration nanos.
+fn time_ns<F: FnMut()>(mut f: F, warmup: usize, iters: usize) -> Vec<u64> {
+    for _ in 0..warmup {
+        f();
+    }
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+struct Measurement {
+    n: usize,
+    d: usize,
+    variant: &'static str,
+    iters: usize,
+    decisions_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    mean_ns: f64,
+}
+
+fn summarize(n: usize, d: usize, variant: &'static str, mut samples: Vec<u64>) -> Measurement {
+    let iters = samples.len();
+    let mean_ns = samples.iter().sum::<u64>() as f64 / iters as f64;
+    samples.sort_unstable();
+    let rank = |q: f64| samples[(((q * iters as f64).ceil() as usize).clamp(1, iters)) - 1];
+    Measurement {
+        n,
+        d,
+        variant,
+        iters,
+        decisions_per_sec: 1e9 / mean_ns,
+        p50_ns: rank(0.50),
+        p99_ns: rank(0.99),
+        mean_ns,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(if smoke {
+        "perf_decision — CI smoke (regression gate)"
+    } else {
+        "perf_decision — OptCacheSelect decision-path throughput"
+    });
+
+    let reduced = smoke || quick_mode();
+    let (warmup, iters, ref_iters) = if reduced { (3, 25, 8) } else { (10, 120, 30) };
+    let bundle = 4usize;
+    let sweep: &[(usize, usize)] = if reduced {
+        &[(250, 8), (2000, 8)]
+    } else {
+        &[
+            (250, 2),
+            (250, 8),
+            (250, 32),
+            (1000, 2),
+            (1000, 8),
+            (1000, 32),
+            (2000, 2),
+            (2000, 8),
+            (2000, 32),
+        ]
+    };
+    let variants = [
+        (GreedyVariant::PaperLiteral, "PaperLiteral"),
+        (GreedyVariant::SortedOnce, "SortedOnce"),
+        (GreedyVariant::SharedCredit, "SharedCredit"),
+    ];
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut scratch = SelectScratch::default();
+    for &(n, d) in sweep {
+        let inst = instance(n, bundle, d, ((0xBE0001 + n as u64) << 8) | d as u64);
+        for (variant, label) in variants {
+            let opts = SelectOptions {
+                variant,
+                max_single_fallback: true,
+            };
+            let samples = time_ns(
+                || {
+                    std::hint::black_box(opt_cache_select_with_scratch(
+                        std::hint::black_box(&inst),
+                        &opts,
+                        &mut scratch,
+                    ));
+                },
+                warmup,
+                iters,
+            );
+            measurements.push(summarize(n, d, label, samples));
+        }
+        // The reference loop composed exactly as the public entry point
+        // composes the fast kernel (greedy + single-best fallback).
+        let samples = time_ns(
+            || {
+                let g = greedy_shared_credit_reference(
+                    std::hint::black_box(&inst),
+                    &[],
+                    inst.capacity(),
+                );
+                let s = best_single(&inst);
+                std::hint::black_box(if s.value > g.value { s } else { g });
+            },
+            warmup.min(3),
+            ref_iters,
+        );
+        measurements.push(summarize(n, d, "ReferenceSharedCredit", samples));
+    }
+
+    let mut table = Table::new([
+        "n",
+        "d",
+        "variant",
+        "iters",
+        "decisions/s",
+        "p50(us)",
+        "p99(us)",
+    ]);
+    for m in &measurements {
+        table.add_row([
+            m.n.to_string(),
+            m.d.to_string(),
+            m.variant.to_string(),
+            m.iters.to_string(),
+            format!("{:.1}", m.decisions_per_sec),
+            format!("{:.1}", m.p50_ns as f64 / 1e3),
+            format!("{:.1}", m.p99_ns as f64 / 1e3),
+        ]);
+    }
+    print!("{}", table.to_ascii());
+
+    let dps = |variant: &str, n: usize, d: usize| {
+        measurements
+            .iter()
+            .find(|m| m.variant == variant && m.n == n && m.d == d)
+            .map(|m| m.decisions_per_sec)
+            .expect("measured configuration")
+    };
+    let headline = dps("SharedCredit", 2000, 8);
+    let reference = dps("ReferenceSharedCredit", 2000, 8);
+    let speedup = headline / reference;
+    println!(
+        "\nheadline (n=2000, d=8): incremental {headline:.1}/s vs reference {reference:.1}/s \
+         — speedup {speedup:.1}x"
+    );
+
+    if smoke {
+        // Gate 1: machine-independent kernel-vs-reference ratio.
+        assert!(
+            speedup >= 2.0,
+            "REGRESSION: incremental kernel only {speedup:.2}x the reference loop \
+             at n=2000, d=8 (acceptance floor: 2x)"
+        );
+        // Gate 2: >2x throughput regression against the committed baseline.
+        if let Ok(json) = std::fs::read_to_string("BENCH_core.json") {
+            if let Some(committed) = extract_number(&json, "\"headline_decisions_per_sec\":") {
+                assert!(
+                    headline >= committed / 2.0,
+                    "REGRESSION: measured {headline:.1} decisions/s is more than 2x below \
+                     the committed baseline {committed:.1}"
+                );
+                println!(
+                    "smoke: headline {headline:.1}/s vs committed {committed:.1}/s — within 2x"
+                );
+            }
+        }
+        println!("smoke: OK (speedup {speedup:.1}x >= 2x)");
+        return;
+    }
+
+    let out = results_dir().join("perf_decision.csv");
+    table.save_csv(&out).expect("write CSV");
+    println!("CSV written to {}", out.display());
+
+    // Hand-rolled JSON (the vendored serde shim has no serializer); the one
+    // key the smoke gate parses back is `headline_decisions_per_sec`.
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"perf_decision\",\n");
+    json.push_str(&format!(
+        "  \"headline_decisions_per_sec\": {headline:.1},\n  \
+         \"reference_decisions_per_sec\": {reference:.1},\n  \
+         \"speedup_vs_reference\": {speedup:.2},\n  \"results\": [\n"
+    ));
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"d\": {}, \"variant\": \"{}\", \"iters\": {}, \
+             \"decisions_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {:.1}}}{}\n",
+            m.n,
+            m.d,
+            m.variant,
+            m.iters,
+            m.decisions_per_sec,
+            m.p50_ns,
+            m.p99_ns,
+            m.mean_ns,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_core.json", &json).expect("write BENCH_core.json");
+    println!("JSON summary written to BENCH_core.json");
+}
+
+/// Pulls the first number following `key` out of `json` — a deliberately
+/// naive parser for the one scalar the smoke gate needs.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let start = json.find(key)? + key.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

@@ -33,9 +33,8 @@ fn main() {
             policy.as_mut(),
             &exp.trace,
             &RunConfig {
-                cache_size: BASE_CACHE,
                 series_window: Some(window),
-                warmup_jobs: 0,
+                ..RunConfig::new(BASE_CACHE)
             },
         );
         (name, m)

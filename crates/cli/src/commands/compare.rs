@@ -52,9 +52,8 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         println!("scan injection: trace grew to {} jobs", trace.len());
     }
     let run_cfg = RunConfig {
-        cache_size: cache,
-        series_window: None,
         warmup_jobs: warmup,
+        ..RunConfig::new(cache)
     };
 
     let mut table = Table::new([

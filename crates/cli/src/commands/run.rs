@@ -18,6 +18,8 @@ Options:
   --policy NAME         replacement policy [optfilebundle]
   --queue N             admission-queue length (1 = FCFS) [1]
   --discipline D        fcfs | hrv | sjf (with --queue > 1) [hrv]
+  --latency             time every replacement decision and report
+                        p50/p99/mean decision latency
 ";
 
 /// Parses a queue discipline name.
@@ -34,7 +36,7 @@ pub fn parse_discipline(s: &str) -> Result<Discipline, ArgError> {
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<(), ArgError> {
-    args.reject_unknown(&["trace", "cache", "policy", "queue", "discipline"])?;
+    args.reject_unknown(&["trace", "cache", "policy", "queue", "discipline", "latency"])?;
     let trace_path = args.require("trace")?;
     let cache = args.get_bytes_or("cache", 0)?;
     if cache == 0 {
@@ -52,7 +54,10 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
 
     let trace =
         Trace::load(trace_path).map_err(|e| ArgError(format!("cannot read {trace_path}: {e}")))?;
-    let run_cfg = RunConfig::new(cache);
+    let run_cfg = RunConfig {
+        record_latency: args.has("latency"),
+        ..RunConfig::new(cache)
+    };
     let metrics = if queue_len > 1 {
         fbc_sim::queue::run_queued(
             policy.as_mut(),
@@ -90,6 +95,16 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "volume per request:  {}",
         fbc_core::types::format_bytes(metrics.bytes_moved_per_request() as u64)
     );
+    if !metrics.decision_latency.is_empty() {
+        let l = &metrics.decision_latency;
+        println!(
+            "decision latency:    p50 {:.1}µs  p99 {:.1}µs  mean {:.1}µs  ({} samples)",
+            l.p50() as f64 / 1e3,
+            l.p99() as f64 / 1e3,
+            l.mean() / 1e3,
+            l.len()
+        );
+    }
     Ok(())
 }
 
@@ -134,6 +149,25 @@ mod tests {
                 "60B",
                 "--policy",
                 "lru",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        run(&args).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn latency_flag_is_accepted() {
+        let path = write_test_trace();
+        let args = Args::parse(
+            [
+                "--trace",
+                path.to_str().unwrap(),
+                "--cache",
+                "60B",
+                "--latency",
             ]
             .iter()
             .map(|s| s.to_string()),

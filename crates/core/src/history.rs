@@ -16,8 +16,8 @@
 use crate::bundle::Bundle;
 use crate::catalog::FileCatalog;
 use crate::types::FileId;
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// How the value `v(r)` of a request evolves as the request recurs.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -74,9 +74,12 @@ impl HistoryEntry {
 /// The request history `L(R)`.
 #[derive(Debug, Clone, Default)]
 pub struct RequestHistory {
-    entries: HashMap<Bundle, HistoryEntry>,
+    /// FxHash on both maps: `degree()` sits on the decision hot path, and
+    /// no iteration order ever escapes (consumers sort by the unique
+    /// `last_seen`/`first_seen` ticks, or take order-free integer sums).
+    entries: FxHashMap<Bundle, HistoryEntry>,
     /// `d(f)`: number of distinct requests using each file.
-    degrees: HashMap<FileId, u32>,
+    degrees: FxHashMap<FileId, u32>,
     /// Total requests recorded (including repeats).
     tick: u64,
     value_fn: ValueFn,

@@ -16,21 +16,24 @@
 
 use crate::bundle::Bundle;
 use crate::types::FileId;
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// Incrementally maintained "which bundles are fully resident" index.
 #[derive(Debug, Clone, Default)]
 pub struct SupportIndex {
-    /// file → indices of bundles containing it.
-    by_file: HashMap<FileId, Vec<u32>>,
+    /// file → indices of bundles containing it. FxHash throughout: keys
+    /// are small fixed-width ids on the decision hot path, and no map's
+    /// iteration order is ever observed (results follow `bundles`'
+    /// registration order).
+    by_file: FxHashMap<FileId, Vec<u32>>,
     /// All tracked bundles.
     bundles: Vec<Bundle>,
     /// Bundle → its index in `bundles`.
-    ids: HashMap<Bundle, u32>,
+    ids: FxHashMap<Bundle, u32>,
     /// Per-bundle count of currently resident files.
     resident_count: Vec<u32>,
     /// Set of currently resident files (mirrors the cache).
-    resident: HashMap<FileId, ()>,
+    resident: FxHashMap<FileId, ()>,
 }
 
 impl SupportIndex {
@@ -102,7 +105,7 @@ impl SupportIndex {
         let mut out = Vec::new();
         // Count additional support each bundle gains from `extra`'s
         // non-resident files.
-        let mut bonus: HashMap<u32, u32> = HashMap::new();
+        let mut bonus: FxHashMap<u32, u32> = FxHashMap::default();
         for f in extra.iter() {
             if !self.resident.contains_key(&f) {
                 if let Some(bundles) = self.by_file.get(&f) {

@@ -32,6 +32,13 @@ impl InstanceRequest {
     pub fn files(&self) -> &[u32] {
         &self.files
     }
+
+    /// Consumes the request, returning its file buffer (so callers that
+    /// build instances in a hot loop can recycle the allocation).
+    #[inline]
+    pub fn into_files(self) -> Vec<u32> {
+        self.files
+    }
 }
 
 /// An immutable, validated FBC problem instance.
@@ -44,6 +51,11 @@ pub struct FbcInstance {
     /// overridden with global-history degrees (paper §5.2: popularity and
     /// file sharing are taken "from the global history").
     degrees: Vec<u32>,
+    /// Memoised `Σ_{f ∈ F(r_i)} s(f)` per request. `best_single` and the
+    /// literal greedy consult request sizes in a loop; precomputing them at
+    /// construction turns those lookups into array reads for the same total
+    /// cost as one pass.
+    request_sizes: Vec<Bytes>,
 }
 
 impl FbcInstance {
@@ -71,6 +83,7 @@ impl FbcInstance {
     ) -> Result<Self> {
         let m = file_sizes.len();
         let mut reqs = Vec::with_capacity(requests.len());
+        let mut request_sizes = Vec::with_capacity(requests.len());
         for (mut files, value) in requests {
             files.sort_unstable();
             files.dedup();
@@ -84,6 +97,7 @@ impl FbcInstance {
                     "request value must be finite and non-negative, got {value}"
                 )));
             }
+            request_sizes.push(files.iter().map(|&f| file_sizes[f as usize]).sum());
             reqs.push(InstanceRequest { files, value });
         }
         let degrees = match degrees {
@@ -103,6 +117,7 @@ impl FbcInstance {
             file_sizes,
             requests: reqs,
             degrees,
+            request_sizes,
         })
     }
 
@@ -165,13 +180,19 @@ impl FbcInstance {
         &self.requests
     }
 
-    /// Total (deduplicated) size of the files of request `i`.
+    /// Total (deduplicated) size of the files of request `i` (memoised at
+    /// construction).
+    #[inline]
     pub fn request_size(&self, i: usize) -> Bytes {
-        self.requests[i]
-            .files
-            .iter()
-            .map(|&f| self.file_sizes[f as usize])
-            .sum()
+        self.request_sizes[i]
+    }
+
+    /// Decomposes the instance into its owned buffers
+    /// `(file_sizes, degrees, requests)` so hot-loop callers (one instance
+    /// per replacement decision) can recycle the allocations instead of
+    /// dropping them.
+    pub fn into_parts(self) -> (Vec<Bytes>, Vec<u32>, Vec<InstanceRequest>) {
+        (self.file_sizes, self.degrees, self.requests)
     }
 
     /// Sum of adjusted sizes `Σ s'(f)` over request `i`'s files.

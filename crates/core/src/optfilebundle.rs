@@ -25,10 +25,10 @@ use crate::history::{RequestHistory, ValueFn};
 use crate::index::SupportIndex;
 use crate::instance::FbcInstance;
 use crate::policy::{CachePolicy, RequestOutcome};
-use crate::select::{opt_cache_select, GreedyVariant, SelectOptions};
+use crate::select::{opt_cache_select_with_scratch, GreedyVariant, SelectOptions, SelectScratch};
 use crate::types::{Bytes, FileId};
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 
 /// Which slice of the request history feeds `OptCacheSelect` (paper §5.2,
 /// "Request History Length").
@@ -104,6 +104,31 @@ pub struct DecisionExplanation {
     pub victims: Vec<FileId>,
 }
 
+/// Reusable buffers of the replacement-decision path, owned by the policy
+/// so that `decide_retained` performs no per-candidate allocation in steady
+/// state: the interning map, the local instance's size/degree/file buffers
+/// and the selection kernel's heap/bitset/adjacency scratch are all cleared
+/// — never freed — between decisions, and the instance's owned vectors are
+/// reclaimed through [`FbcInstance::into_parts`] after every selection.
+#[derive(Debug, Clone, Default)]
+struct DecisionScratch {
+    /// `FileId` → dense local index interning map. FxHash: small
+    /// fixed-width keys on the hot path, and iteration order is never
+    /// observed (the local index assignment follows candidate order).
+    local_of: FxHashMap<FileId, u32>,
+    /// Inverse of `local_of`: local index → global id.
+    global_of: Vec<FileId>,
+    /// Local file sizes (0 for files of the incoming bundle).
+    sizes: Vec<Bytes>,
+    /// Local file degrees, from the global history.
+    degrees: Vec<u32>,
+    /// Recycled per-candidate file buffers, refilled from
+    /// [`crate::instance::InstanceRequest::into_files`] after each decision.
+    file_bufs: Vec<Vec<u32>>,
+    /// The incremental selection kernel's reusable state.
+    select: SelectScratch,
+}
+
 /// The `OptFileBundle` replacement policy (paper Algorithm 2).
 #[derive(Debug, Clone)]
 pub struct OptFileBundle {
@@ -112,6 +137,9 @@ pub struct OptFileBundle {
     /// Inverted index for cache-supported candidate lookup (kept in sync
     /// with the cache only when the configuration calls for it).
     index: SupportIndex,
+    /// Reusable decision-path buffers (pure optimisation; carries no state
+    /// across decisions).
+    scratch: DecisionScratch,
     name: String,
 }
 
@@ -151,6 +179,7 @@ impl OptFileBundle {
             config,
             history: RequestHistory::with_value_fn(config.value_fn),
             index: SupportIndex::new(),
+            scratch: DecisionScratch::default(),
             name,
         }
     }
@@ -188,27 +217,29 @@ impl OptFileBundle {
     /// which historical requests are candidates, which would be selected,
     /// which files would be retained, and which residents would be exposed
     /// as victims. A diagnostics/tooling API; [`CachePolicy::handle`]
-    /// remains the only way to act.
+    /// remains the only way to act (`&mut self` only touches the reusable
+    /// decision scratch — no observable state changes).
     pub fn explain(
-        &self,
+        &mut self,
         cache: &CacheState,
         catalog: &FileCatalog,
         incoming: &Bundle,
     ) -> DecisionExplanation {
         let requested_bytes = incoming.total_size(catalog);
         let select_capacity = cache.capacity().saturating_sub(requested_bytes);
-        let candidates: Vec<Bundle> = self
-            .candidates(cache, incoming)
-            .into_iter()
-            .map(|e| e.bundle.clone())
-            .collect();
+        let candidates: Vec<Bundle> =
+            candidates_of(&self.config, &self.history, &self.index, cache, incoming)
+                .into_iter()
+                .map(|e| e.bundle.clone())
+                .collect();
+        // `retained` comes back sorted, so resident-membership checks are
+        // binary searches rather than linear scans (O(r log r) overall,
+        // where the per-file `contains` scan was O(r²)).
         let (retained, _) = self.decide_retained(cache, catalog, incoming, select_capacity);
-        let mut retained: Vec<FileId> = retained.into_iter().collect();
-        retained.sort_unstable();
         let mut victims: Vec<FileId> = cache
             .iter()
             .map(|(f, _)| f)
-            .filter(|&f| !incoming.contains(f) && !retained.contains(&f))
+            .filter(|&f| !incoming.contains(f) && retained.binary_search(&f).is_err())
             .collect();
         victims.sort_unstable();
         DecisionExplanation {
@@ -219,65 +250,50 @@ impl OptFileBundle {
         }
     }
 
-    /// Candidate history entries for a replacement decision, per the
-    /// configured truncation mode.
-    fn candidates<'h>(
-        &'h self,
-        cache: &CacheState,
-        incoming: &Bundle,
-    ) -> Vec<&'h crate::history::HistoryEntry> {
-        let mut cands: Vec<&crate::history::HistoryEntry> = match self.config.history_mode {
-            HistoryMode::Full => self.history.entries().collect(),
-            HistoryMode::Window(n) => self.history.most_recent(n),
-            HistoryMode::CacheSupported if self.indexing() => self
-                .index
-                .supported_with(incoming)
-                .into_iter()
-                .filter_map(|b| self.history.get(b))
-                .collect(),
-            HistoryMode::CacheSupported => self
-                .history
-                .entries()
-                .filter(|e| {
-                    e.bundle
-                        .is_subset_of(|f| cache.contains(f) || incoming.contains(f))
-                })
-                .collect(),
-        };
-        // The history hash map iterates in arbitrary order; sort by recency
-        // (last_seen is a unique tick) so greedy tie-breaking — and thus the
-        // whole simulation — is deterministic.
-        cands.sort_unstable_by_key(|e| std::cmp::Reverse(e.last_seen));
-        if let Some(cap) = self.config.max_candidates {
-            cands.truncate(cap);
-        }
-        cands
-    }
-
-    /// Runs the replacement decision: returns the set of files (global ids)
-    /// to retain alongside `incoming`'s files, plus the prefetch list.
+    /// Runs the replacement decision: returns the *sorted* list of files
+    /// (global ids) to retain alongside `incoming`'s files, plus the
+    /// prefetch list. `&mut self` only for the reusable decision scratch.
     fn decide_retained(
-        &self,
+        &mut self,
         cache: &CacheState,
         catalog: &FileCatalog,
         incoming: &Bundle,
         select_capacity: Bytes,
-    ) -> (HashSet<FileId>, Vec<FileId>) {
-        let candidates = self.candidates(cache, incoming);
+    ) -> (Vec<FileId>, Vec<FileId>) {
+        // Split borrows: candidates hold references into the history while
+        // the scratch buffers are being filled.
+        let Self {
+            config,
+            history,
+            index,
+            scratch,
+            ..
+        } = self;
+        let candidates = candidates_of(config, history, index, cache, incoming);
         if candidates.is_empty() {
-            return (HashSet::new(), Vec::new());
+            return (Vec::new(), Vec::new());
         }
 
-        // Build a local FBC instance over the union of candidate files.
-        let mut local_of: HashMap<FileId, u32> = HashMap::new();
-        let mut global_of: Vec<FileId> = Vec::new();
-        let mut sizes: Vec<Bytes> = Vec::new();
-        let mut degrees: Vec<u32> = Vec::new();
+        // Build a local FBC instance over the union of candidate files,
+        // recycling the previous decision's buffers.
+        let DecisionScratch {
+            local_of,
+            global_of,
+            sizes,
+            degrees,
+            file_bufs,
+            select,
+        } = scratch;
+        local_of.clear();
+        global_of.clear();
+        sizes.clear();
+        degrees.clear();
         let mut requests: Vec<(Vec<u32>, f64)> = Vec::with_capacity(candidates.len());
-        let now = self.history.total_requests();
-        let value_fn = self.history.value_fn();
+        let now = history.total_requests();
+        let value_fn = history.value_fn();
         for entry in &candidates {
-            let mut files = Vec::with_capacity(entry.bundle.len());
+            let mut files = file_bufs.pop().unwrap_or_default();
+            files.clear();
             for f in entry.bundle.iter() {
                 let local = *local_of.entry(f).or_insert_with(|| {
                     let idx = global_of.len() as u32;
@@ -290,7 +306,7 @@ impl OptFileBundle {
                         catalog.size(f)
                     });
                     // Degrees come from the *global* history (paper §5.2).
-                    degrees.push(self.history.degree(f));
+                    degrees.push(history.degree(f));
                     idx
                 });
                 files.push(local);
@@ -298,26 +314,33 @@ impl OptFileBundle {
             requests.push((files, entry.value_at(now, value_fn)));
         }
 
-        let inst = FbcInstance::with_degrees(select_capacity, sizes, requests, Some(degrees))
-            .expect("locally built instance is structurally valid");
+        let inst = FbcInstance::with_degrees(
+            select_capacity,
+            std::mem::take(sizes),
+            requests,
+            Some(std::mem::take(degrees)),
+        )
+        .expect("locally built instance is structurally valid");
 
-        let selection = match self.config.enumeration_k {
+        let selection = match config.enumeration_k {
             Some(k) => crate::enumerate::opt_cache_select_enumerated(&inst, k.min(2)),
-            None => opt_cache_select(
+            None => opt_cache_select_with_scratch(
                 &inst,
                 &SelectOptions {
-                    variant: self.config.variant,
+                    variant: config.variant,
                     max_single_fallback: true,
                 },
+                select,
             ),
         };
 
-        let retained: HashSet<FileId> = selection
+        let mut retained: Vec<FileId> = selection
             .files
             .iter()
             .map(|&l| global_of[l as usize])
             .collect();
-        let prefetch: Vec<FileId> = if self.config.prefetch {
+        retained.sort_unstable();
+        let prefetch: Vec<FileId> = if config.prefetch {
             selection
                 .files
                 .iter()
@@ -327,8 +350,52 @@ impl OptFileBundle {
         } else {
             Vec::new()
         };
+
+        // Reclaim the instance's owned buffers for the next decision.
+        let (reclaimed_sizes, reclaimed_degrees, reclaimed_requests) = inst.into_parts();
+        *sizes = reclaimed_sizes;
+        *degrees = reclaimed_degrees;
+        file_bufs.extend(reclaimed_requests.into_iter().map(|r| r.into_files()));
+
         (retained, prefetch)
     }
+}
+
+/// Candidate history entries for a replacement decision, per the configured
+/// truncation mode. A free function (rather than a method) so the decision
+/// path can borrow the history immutably while filling mutable scratch.
+fn candidates_of<'h>(
+    config: &OfbConfig,
+    history: &'h RequestHistory,
+    index: &'h SupportIndex,
+    cache: &CacheState,
+    incoming: &Bundle,
+) -> Vec<&'h crate::history::HistoryEntry> {
+    let indexing = config.use_index && config.history_mode == HistoryMode::CacheSupported;
+    let mut cands: Vec<&crate::history::HistoryEntry> = match config.history_mode {
+        HistoryMode::Full => history.entries().collect(),
+        HistoryMode::Window(n) => history.most_recent(n),
+        HistoryMode::CacheSupported if indexing => index
+            .supported_with(incoming)
+            .into_iter()
+            .filter_map(|b| history.get(b))
+            .collect(),
+        HistoryMode::CacheSupported => history
+            .entries()
+            .filter(|e| {
+                e.bundle
+                    .is_subset_of(|f| cache.contains(f) || incoming.contains(f))
+            })
+            .collect(),
+    };
+    // The history hash map iterates in arbitrary order; sort by recency
+    // (last_seen is a unique tick) so greedy tie-breaking — and thus the
+    // whole simulation — is deterministic.
+    cands.sort_unstable_by_key(|e| std::cmp::Reverse(e.last_seen));
+    if let Some(cap) = config.max_candidates {
+        cands.truncate(cap);
+    }
+    cands
 }
 
 impl Default for OptFileBundle {
@@ -393,7 +460,7 @@ impl CachePolicy for OptFileBundle {
             let target = missing_bytes + prefetch_bytes;
             let mut victims: Vec<(FileId, Bytes)> = cache
                 .iter()
-                .filter(|&(f, _)| !bundle.contains(f) && !retained.contains(&f))
+                .filter(|&(f, _)| !bundle.contains(f) && retained.binary_search(&f).is_err())
                 .collect();
             victims.sort_unstable_by_key(|&(f, size)| {
                 (self.history.degree(f), std::cmp::Reverse(size), f)

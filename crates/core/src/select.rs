@@ -18,12 +18,30 @@
 //! * [`GreedyVariant::SharedCredit`] — the paper's "Note" refinement: after
 //!   every selection the adjusted relative values are recomputed with the
 //!   sizes of already-selected files set to zero, and the candidate list is
-//!   effectively re-sorted. Costlier (`O(n² · b)` for `n` requests of
-//!   bundle size `b`) but never worse in solution quality on the workloads
-//!   of §5.
+//!   effectively re-sorted. Never worse in solution quality on the
+//!   workloads of §5.
+//!
+//! ## The incremental shared-credit kernel
+//!
+//! The naive recompute-and-resort loop costs `O(n² · b)` for `n` requests
+//! of bundle size `b` — a full rescan of every candidate after every
+//! selection. [`greedy_shared_credit`] instead runs an *incremental greedy*:
+//! an inverted file→request adjacency built once per call, a max-heap of
+//! `(v'(r), request index)` entries with version-stamped lazy invalidation,
+//! and localised marginal updates — when a selection loads file `f`, only
+//! the ≤ `d(f)` requests containing `f` can change rank, so only they are
+//! recomputed and re-pushed. Because marginal adjusted sizes only shrink as
+//! files load, priorities only *increase*, and a popped entry whose version
+//! stamp is current is the exact argmax; feasibility
+//! (`marginal bytes ≤ remaining`) is re-checked at pop time. Each iteration
+//! costs `O(b · d · log n)` instead of `O(n · b)`, and the result is
+//! **bit-for-bit identical** to the reference loop (kept as
+//! [`greedy_shared_credit_reference`] and pinned by differential property
+//! tests): same selections, same order, same tie-breaking by lower index.
 
 use crate::instance::{FbcInstance, Selection};
 use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
 
 /// Which flavour of the greedy loop to run. See the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -73,10 +91,24 @@ impl Default for SelectOptions {
 /// assert_eq!(sel.bytes, 30); // union {0,1,2}, file 0 counted once
 /// ```
 pub fn opt_cache_select(inst: &FbcInstance, opts: &SelectOptions) -> Selection {
+    let mut scratch = SelectScratch::default();
+    opt_cache_select_with_scratch(inst, opts, &mut scratch)
+}
+
+/// [`opt_cache_select`] with caller-owned reusable buffers — the form the
+/// `OptFileBundle` decision path uses so that per-request replacement
+/// decisions stop allocating. Results are identical to the allocating form.
+pub fn opt_cache_select_with_scratch(
+    inst: &FbcInstance,
+    opts: &SelectOptions,
+    scratch: &mut SelectScratch,
+) -> Selection {
     let greedy = match opts.variant {
         GreedyVariant::PaperLiteral => greedy_sorted(inst, false),
         GreedyVariant::SortedOnce => greedy_sorted(inst, true),
-        GreedyVariant::SharedCredit => greedy_shared_credit(inst, &[], inst.capacity()),
+        GreedyVariant::SharedCredit => {
+            greedy_shared_credit_with_scratch(inst, &[], inst.capacity(), scratch)
+        }
     };
     if opts.max_single_fallback {
         max_of(greedy, best_single(inst))
@@ -86,6 +118,9 @@ pub fn opt_cache_select(inst: &FbcInstance, opts: &SelectOptions) -> Selection {
 }
 
 /// Step 3 of Algorithm 1: the single feasible request of highest value.
+///
+/// Request sizes are memoised by [`FbcInstance`] at construction, so the
+/// scan is a flat pass over two arrays rather than `n` bundle summations.
 pub fn best_single(inst: &FbcInstance) -> Selection {
     let mut best: Option<usize> = None;
     for i in 0..inst.num_requests() {
@@ -111,17 +146,21 @@ fn max_of(a: Selection, b: Selection) -> Selection {
 }
 
 /// Requests ordered by decreasing adjusted relative value, ties broken by
-/// lower index for determinism.
+/// lower index for determinism. Keys are computed once and sorted with the
+/// values inline (`sort_unstable_by` over `(key, index)` pairs), avoiding
+/// the indirect `rv[b]` lookups of a comparator closure. The comparator is
+/// a total order (ties fall through to the index), so the unstable sort
+/// yields exactly the order the previous stable sort did.
 fn order_by_relative_value(inst: &FbcInstance) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..inst.num_requests()).collect();
-    let rv: Vec<f64> = order.iter().map(|&i| inst.relative_value(i)).collect();
-    order.sort_by(|&a, &b| {
-        rv[b]
-            .partial_cmp(&rv[a])
+    let mut keyed: Vec<(f64, usize)> = (0..inst.num_requests())
+        .map(|i| (inst.relative_value(i), i))
+        .collect();
+    keyed.sort_unstable_by(|a, b| {
+        b.0.partial_cmp(&a.0)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
+            .then(a.1.cmp(&b.1))
     });
-    order
+    keyed.into_iter().map(|(_, i)| i).collect()
 }
 
 /// Single-sort greedy. With `marginal = false` this is Algorithm 1 verbatim
@@ -154,6 +193,150 @@ fn greedy_sorted(inst: &FbcInstance, marginal: bool) -> Selection {
     Selection::from_chosen(inst, chosen)
 }
 
+/// A fixed-capacity bitset over dense indices (files or requests of one
+/// instance). `Vec<bool>` would work; one bit per entry keeps the whole
+/// loaded/taken state of a multi-thousand-request decision in a few cache
+/// lines.
+#[derive(Debug, Clone, Default)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Clears and resizes to hold `n` bits, all zero.
+    fn reset(&mut self, n: usize) {
+        self.words.clear();
+        self.words.resize(n.div_ceil(64), 0);
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        (self.words[i >> 6] >> (i & 63)) & 1 != 0
+    }
+}
+
+/// One heap entry of the incremental kernel: the request's adjusted
+/// relative value at the time of the push, and the per-request version
+/// stamp identifying whether the entry is still current at pop time.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    rv: f64,
+    idx: u32,
+    version: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    /// Max-heap order: higher `rv` first, ties to the *lower* request index
+    /// — the reference loop's `rv > brv || (rv == brv && i < bi)` argmax.
+    /// `rv` is never NaN (values are validated finite and non-negative and
+    /// a non-positive denominator maps to `+∞`), so `total_cmp` agrees with
+    /// the reference's `partial_cmp` on every reachable value.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rv
+            .total_cmp(&other.rv)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+/// Reusable buffers of the incremental shared-credit kernel. One instance
+/// per policy (or per thread) amortises every allocation of the decision
+/// path: bitsets, marginal tables, the adjacency CSR and the heap are all
+/// `reset` (length-adjusted, not freed) between calls.
+#[derive(Debug, Clone, Default)]
+pub struct SelectScratch {
+    /// Files already charged to the selection (local indices).
+    loaded: BitSet,
+    /// Requests already selected.
+    taken: BitSet,
+    /// Per-request version stamp; heap entries with an older stamp are
+    /// stale and skipped at pop time.
+    version: Vec<u32>,
+    /// Per-request epoch stamp deduplicating refreshes within one
+    /// selection step (a request sharing several freshly loaded files is
+    /// recomputed once).
+    touched: Vec<u32>,
+    /// Current marginal size in bytes per request.
+    marginal_bytes: Vec<u64>,
+    /// CSR offsets of the file→request adjacency (length `m + 1`).
+    adj_offsets: Vec<u32>,
+    /// CSR fill cursors (length `m`).
+    adj_cursor: Vec<u32>,
+    /// CSR payload: request indices grouped by file.
+    adj_requests: Vec<u32>,
+    /// The lazy max-heap.
+    heap: BinaryHeap<HeapEntry>,
+    /// Files newly loaded by the current selection step.
+    newly_loaded: Vec<u32>,
+}
+
+impl SelectScratch {
+    /// Prepares the buffers for an instance with `n` requests, `m` files.
+    fn reset(&mut self, n: usize, m: usize) {
+        self.loaded.reset(m);
+        self.taken.reset(n);
+        self.version.clear();
+        self.version.resize(n, 0);
+        self.touched.clear();
+        self.touched.resize(n, 0);
+        self.marginal_bytes.clear();
+        self.marginal_bytes.resize(n, 0);
+        self.adj_offsets.clear();
+        self.adj_offsets.resize(m + 1, 0);
+        self.adj_cursor.clear();
+        self.adj_cursor.resize(m, 0);
+        self.adj_requests.clear();
+        self.heap.clear();
+        self.newly_loaded.clear();
+    }
+}
+
+/// Marginal cost of request `i` under the current `loaded` set, computed
+/// exactly as the reference loop does (same file order, same summation
+/// order — float addition is not associative, and bit-for-bit equivalence
+/// requires recomputing rather than incrementally adjusting the sums).
+#[inline]
+fn marginal_of(inst: &FbcInstance, i: usize, loaded: &BitSet) -> (u64, f64) {
+    let mut marginal_bytes: u64 = 0;
+    let mut marginal_adjusted = 0.0;
+    for &f in inst.requests()[i].files() {
+        if !loaded.get(f as usize) {
+            marginal_bytes += inst.file_size(f);
+            marginal_adjusted += inst.adjusted_size(f);
+        }
+    }
+    (marginal_bytes, marginal_adjusted)
+}
+
+/// The reference's ranking key: `v(r)` over the marginal adjusted size,
+/// `+∞` when every file is already loaded (or zero-sized) — free to take.
+#[inline]
+fn rv_of(value: f64, marginal_adjusted: f64) -> f64 {
+    if marginal_adjusted <= 0.0 {
+        f64::INFINITY
+    } else {
+        value / marginal_adjusted
+    }
+}
+
 /// The recompute-and-resort refinement (paper §3 "Note"), generalised to
 /// start from a pre-selected seed (used by partial enumeration): `seed`
 /// requests are taken as already chosen, their files pre-loaded, and
@@ -162,8 +345,140 @@ fn greedy_sorted(inst: &FbcInstance, marginal: bool) -> Selection {
 /// At every step the request maximising
 /// `v(r) / Σ_{f ∈ F(r), f not loaded} s'(f)` among those whose marginal
 /// size fits is selected; requests whose files are all loaded are free and
-/// taken immediately.
+/// taken immediately. This is the incremental kernel described in the
+/// module docs — bit-for-bit equivalent to
+/// [`greedy_shared_credit_reference`] at `O(b · d · log n)` per selection
+/// instead of `O(n · b)`.
 pub fn greedy_shared_credit(inst: &FbcInstance, seed: &[usize], capacity: u64) -> Selection {
+    let mut scratch = SelectScratch::default();
+    greedy_shared_credit_with_scratch(inst, seed, capacity, &mut scratch)
+}
+
+/// [`greedy_shared_credit`] with caller-owned reusable buffers.
+pub fn greedy_shared_credit_with_scratch(
+    inst: &FbcInstance,
+    seed: &[usize],
+    capacity: u64,
+    scratch: &mut SelectScratch,
+) -> Selection {
+    let n = inst.num_requests();
+    let m = inst.num_files();
+    scratch.reset(n, m);
+
+    let mut chosen: Vec<usize> = seed.to_vec();
+    for &i in seed {
+        scratch.taken.set(i);
+        for &f in inst.requests()[i].files() {
+            scratch.loaded.set(f as usize);
+        }
+    }
+    let mut remaining = capacity;
+
+    // Inverted file→request adjacency, CSR layout, built in one counting
+    // pass and one fill pass over the requests.
+    for req in inst.requests() {
+        for &f in req.files() {
+            scratch.adj_offsets[f as usize + 1] += 1;
+        }
+    }
+    for f in 0..m {
+        scratch.adj_offsets[f + 1] += scratch.adj_offsets[f];
+        scratch.adj_cursor[f] = scratch.adj_offsets[f];
+    }
+    scratch
+        .adj_requests
+        .resize(scratch.adj_offsets[m] as usize, 0);
+    for (i, req) in inst.requests().iter().enumerate() {
+        for &f in req.files() {
+            let cur = &mut scratch.adj_cursor[f as usize];
+            scratch.adj_requests[*cur as usize] = i as u32;
+            *cur += 1;
+        }
+    }
+
+    // Initial priorities for every unselected request.
+    for i in 0..n {
+        if scratch.taken.get(i) {
+            continue;
+        }
+        let (mb, ma) = marginal_of(inst, i, &scratch.loaded);
+        scratch.marginal_bytes[i] = mb;
+        scratch.heap.push(HeapEntry {
+            rv: rv_of(inst.requests()[i].value, ma),
+            idx: i as u32,
+            version: 0,
+        });
+    }
+
+    // Lazy-greedy main loop. Invariant: every unselected request either has
+    // a current-version entry in the heap carrying its exact rv, or was
+    // popped while infeasible — and since `remaining` only shrinks and its
+    // marginal only changes when one of its files loads (which re-pushes
+    // it below), a parked request stays correctly excluded until then.
+    let mut epoch: u32 = 0;
+    while let Some(entry) = scratch.heap.pop() {
+        let i = entry.idx as usize;
+        if scratch.taken.get(i) || entry.version != scratch.version[i] {
+            continue; // stale: a fresher entry is (or was) in the heap
+        }
+        if scratch.marginal_bytes[i] > remaining {
+            continue; // parked: re-enters via adjacency refresh if ever viable
+        }
+
+        // Current and feasible at the top of the heap: the exact argmax.
+        scratch.taken.set(i);
+        chosen.push(i);
+        scratch.newly_loaded.clear();
+        for &f in inst.requests()[i].files() {
+            if !scratch.loaded.get(f as usize) {
+                remaining -= inst.file_size(f);
+                scratch.loaded.set(f as usize);
+                scratch.newly_loaded.push(f);
+            }
+        }
+
+        // Refresh exactly the requests whose marginal changed: those
+        // adjacent to a freshly loaded file. Priorities only increase, so
+        // re-pushing with a bumped version preserves heap correctness.
+        epoch += 1;
+        for li in 0..scratch.newly_loaded.len() {
+            let f = scratch.newly_loaded[li] as usize;
+            let (start, end) = (
+                scratch.adj_offsets[f] as usize,
+                scratch.adj_offsets[f + 1] as usize,
+            );
+            for ai in start..end {
+                let j = scratch.adj_requests[ai] as usize;
+                if scratch.taken.get(j) || scratch.touched[j] == epoch {
+                    continue;
+                }
+                scratch.touched[j] = epoch;
+                let (mb, ma) = marginal_of(inst, j, &scratch.loaded);
+                scratch.marginal_bytes[j] = mb;
+                scratch.version[j] += 1;
+                scratch.heap.push(HeapEntry {
+                    rv: rv_of(inst.requests()[j].value, ma),
+                    idx: j as u32,
+                    version: scratch.version[j],
+                });
+            }
+        }
+    }
+    Selection::from_chosen(inst, chosen)
+}
+
+/// The pre-incremental recompute-and-resort loop, kept verbatim as the
+/// behavioural reference for the kernel: a full `O(n · b)` rescan of every
+/// candidate per selection. Compiled for tests and, under the
+/// `reference-kernels` feature, for benchmarks (`perf_decision` measures
+/// the kernel's speedup against it). Differential property tests assert
+/// the two agree bit for bit on `chosen`, `files`, `bytes` and `value`.
+#[cfg(any(test, feature = "reference-kernels"))]
+pub fn greedy_shared_credit_reference(
+    inst: &FbcInstance,
+    seed: &[usize],
+    capacity: u64,
+) -> Selection {
     let n = inst.num_requests();
     let mut loaded = vec![false; inst.num_files()];
     let mut taken = vec![false; n];
@@ -227,6 +542,7 @@ pub fn greedy_shared_credit(inst: &FbcInstance, seed: &[usize], capacity: u64) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn opts(variant: GreedyVariant) -> SelectOptions {
         SelectOptions {
@@ -405,5 +721,152 @@ mod tests {
         assert!(sel.chosen.contains(&0));
         assert!(sel.chosen.contains(&1)); // highest value fits the remainder
         assert_eq!(sel.chosen.len(), 2);
+    }
+
+    /// Kernel ≡ reference on a hand-picked instance exercising parked
+    /// (infeasible-now, feasible-later) requests: r2 does not fit until r0
+    /// loads the shared file 0, shrinking r2's marginal below `remaining`.
+    #[test]
+    fn kernel_unparks_requests_when_shared_files_load() {
+        let inst = FbcInstance::new(
+            10,
+            vec![6, 4, 5],
+            vec![
+                (vec![0, 1], 10.0), // loads {0,1}, remaining 0
+                (vec![0, 2], 9.0),  // infeasible until f0 loads — then still 5 > 0
+                (vec![0], 1.0),     // free once f0 is loaded
+            ],
+        )
+        .unwrap();
+        let a = greedy_shared_credit(&inst, &[], inst.capacity());
+        let b = greedy_shared_credit_reference(&inst, &[], inst.capacity());
+        assert_eq!(a, b);
+        assert_eq!(a.chosen, vec![0, 2]); // r2 taken free after r0
+    }
+
+    /// Exhaustive differential sweep with a deterministic generator,
+    /// covering seeds (partial enumeration's entry point) as well.
+    #[test]
+    fn kernel_matches_reference_on_random_instances_with_seeds() {
+        let mut state = 0xC0FFEE_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut scratch = SelectScratch::default();
+        for round in 0..200 {
+            let m = (next() % 12 + 1) as usize;
+            let sizes: Vec<u64> = (0..m).map(|_| next() % 30).collect();
+            let n = (next() % 15 + 1) as usize;
+            let reqs: Vec<(Vec<u32>, f64)> = (0..n)
+                .map(|_| {
+                    let k = (next() % 5 + 1) as usize;
+                    let files: Vec<u32> = (0..k).map(|_| (next() % m as u64) as u32).collect();
+                    (files, (next() % 40) as f64)
+                })
+                .collect();
+            let cap = next() % 200;
+            let inst = FbcInstance::new(cap, sizes, reqs).unwrap();
+            let seed: Vec<usize> = if next() % 3 == 0 {
+                vec![(next() % n as u64) as usize]
+            } else {
+                vec![]
+            };
+            // Seeded calls mirror partial enumeration: capacity is what's
+            // left after the seed's own files.
+            let seed_bytes = inst.union_size(&seed);
+            if seed_bytes > cap {
+                continue;
+            }
+            let capacity = cap - seed_bytes;
+            let fast = greedy_shared_credit_with_scratch(&inst, &seed, capacity, &mut scratch);
+            let slow = greedy_shared_credit_reference(&inst, &seed, capacity);
+            assert_eq!(fast.chosen, slow.chosen, "round {round}");
+            assert_eq!(fast.files, slow.files, "round {round}");
+            assert_eq!(fast.bytes, slow.bytes, "round {round}");
+            assert_eq!(
+                fast.value.to_bits(),
+                slow.value.to_bits(),
+                "round {round}: value not bit-identical"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Differential property test: the incremental kernel is
+        /// bit-for-bit equivalent to the reference loop on arbitrary
+        /// instances — same chosen order, file union, bytes, and value.
+        #[test]
+        fn prop_shared_credit_kernel_equals_reference(
+            sizes in proptest::collection::vec(0u64..60, 1..14),
+            raw in proptest::collection::vec(
+                (proptest::collection::vec(0usize..64, 1..6), 0u64..50),
+                1..20,
+            ),
+            cap in 0u64..300,
+        ) {
+            let m = sizes.len();
+            let reqs: Vec<(Vec<u32>, f64)> = raw
+                .into_iter()
+                .map(|(files, v)| {
+                    (files.into_iter().map(|f| (f % m) as u32).collect(), v as f64)
+                })
+                .collect();
+            let inst = FbcInstance::new(cap, sizes, reqs).unwrap();
+            let fast = greedy_shared_credit(&inst, &[], inst.capacity());
+            let slow = greedy_shared_credit_reference(&inst, &[], inst.capacity());
+            prop_assert_eq!(&fast.chosen, &slow.chosen);
+            prop_assert_eq!(&fast.files, &slow.files);
+            prop_assert_eq!(fast.bytes, slow.bytes);
+            prop_assert_eq!(fast.value.to_bits(), slow.value.to_bits());
+        }
+
+        /// All three variants through the public entry point agree with a
+        /// reference-kernel composition of the same options, and scratch
+        /// reuse across calls never leaks state between decisions.
+        #[test]
+        fn prop_opt_cache_select_with_scratch_is_pure(
+            sizes in proptest::collection::vec(1u64..40, 1..10),
+            raw in proptest::collection::vec(
+                (proptest::collection::vec(0usize..32, 1..5), 0u64..30),
+                1..12,
+            ),
+            cap in 0u64..150,
+        ) {
+            let m = sizes.len();
+            let reqs: Vec<(Vec<u32>, f64)> = raw
+                .into_iter()
+                .map(|(files, v)| {
+                    (files.into_iter().map(|f| (f % m) as u32).collect(), v as f64)
+                })
+                .collect();
+            let inst = FbcInstance::new(cap, sizes, reqs).unwrap();
+            let mut scratch = SelectScratch::default();
+            for variant in [
+                GreedyVariant::PaperLiteral,
+                GreedyVariant::SortedOnce,
+                GreedyVariant::SharedCredit,
+            ] {
+                let o = opts(variant);
+                let fresh = opt_cache_select(&inst, &o);
+                // Run twice through the same scratch: both must equal the
+                // fresh-allocation result exactly.
+                let first = opt_cache_select_with_scratch(&inst, &o, &mut scratch);
+                let second = opt_cache_select_with_scratch(&inst, &o, &mut scratch);
+                prop_assert_eq!(&first, &fresh);
+                prop_assert_eq!(&second, &fresh);
+                if variant == GreedyVariant::SharedCredit {
+                    let reference = {
+                        let g = greedy_shared_credit_reference(&inst, &[], inst.capacity());
+                        if o.max_single_fallback { max_of(g, best_single(&inst)) } else { g }
+                    };
+                    prop_assert_eq!(&first, &reference);
+                }
+            }
+        }
     }
 }

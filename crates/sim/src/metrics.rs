@@ -19,6 +19,71 @@ pub struct SeriesPoint {
     pub request_hit_ratio: f64,
 }
 
+/// Decision-latency samples (nanoseconds per `policy.handle` call),
+/// recorded when [`RunConfig::record_latency`] is on. Holds the raw sample
+/// vector so percentiles are exact, not sketched — a simulation run has at
+/// most one sample per job, which is small next to the trace itself.
+///
+/// [`RunConfig::record_latency`]: crate::runner::RunConfig::record_latency
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Raw samples in nanoseconds, in recording order.
+    pub samples: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Adds one sample.
+    pub fn record(&mut self, nanos: u64) {
+        self.samples.push(nanos);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Exact `q`-quantile (nearest-rank, `0 ≤ q ≤ 1`) in nanoseconds;
+    /// 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Median latency in nanoseconds.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency in nanoseconds.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Appends another accumulator's samples.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
 /// Accumulated metrics for one run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
@@ -36,6 +101,9 @@ pub struct Metrics {
     pub evicted_bytes: u64,
     /// Optional windowed series.
     pub series: Vec<SeriesPoint>,
+    /// Per-decision latency samples (empty unless the runner was asked to
+    /// record them).
+    pub decision_latency: LatencyStats,
     window: Option<WindowState>,
 }
 
@@ -155,6 +223,7 @@ impl Metrics {
             jobs: base_jobs + p.jobs,
             ..*p
         }));
+        self.decision_latency.merge(&other.decision_latency);
     }
 }
 
@@ -249,6 +318,38 @@ mod tests {
         // Ratios within each window are unchanged by the re-basing.
         assert!((a.series[2].byte_miss_ratio - 0.0).abs() < 1e-12);
         assert!((a.series[1].byte_miss_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_percentiles_are_exact_nearest_rank() {
+        let mut l = LatencyStats::default();
+        assert_eq!(l.p50(), 0);
+        assert_eq!(l.p99(), 0);
+        // 1..=100 ns, shuffled order must not matter.
+        for v in (1..=100u64).rev() {
+            l.record(v);
+        }
+        assert_eq!(l.len(), 100);
+        assert_eq!(l.p50(), 50);
+        assert_eq!(l.p99(), 99);
+        assert_eq!(l.quantile(1.0), 100);
+        assert!((l.mean() - 50.5).abs() < 1e-12);
+
+        let mut other = LatencyStats::default();
+        other.record(1000);
+        l.merge(&other);
+        assert_eq!(l.quantile(1.0), 1000);
+        assert_eq!(l.len(), 101);
+    }
+
+    #[test]
+    fn merge_concatenates_latency_samples() {
+        let mut a = Metrics::new();
+        a.decision_latency.record(5);
+        let mut b = Metrics::new();
+        b.decision_latency.record(7);
+        a.merge(&b);
+        assert_eq!(a.decision_latency.samples, vec![5, 7]);
     }
 
     #[test]

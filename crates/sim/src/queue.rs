@@ -125,7 +125,17 @@ pub fn run_queued(
                 }
             };
             let bundle = pending.remove(idx);
-            let outcome = policy.handle(&bundle, &mut cache, catalog);
+            let outcome = if run.record_latency {
+                let start = std::time::Instant::now();
+                let outcome = policy.handle(&bundle, &mut cache, catalog);
+                let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                if processed >= run.warmup_jobs {
+                    metrics.decision_latency.record(nanos);
+                }
+                outcome
+            } else {
+                policy.handle(&bundle, &mut cache, catalog)
+            };
             debug_assert!(cache.check_invariants());
             if processed >= run.warmup_jobs {
                 metrics.record(&outcome);

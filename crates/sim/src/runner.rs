@@ -27,6 +27,14 @@ pub struct RunConfig {
     /// the cache and the policy). Steady-state methodology: the paper's
     /// curves include the cold start, so the default is 0.
     pub warmup_jobs: u64,
+    /// When true, time every `policy.handle` call and collect the samples
+    /// in [`Metrics::decision_latency`] (p50/p99 reporting). Off by
+    /// default: wall-clock sampling costs a couple of syscalls per job and
+    /// the samples are machine-dependent, so deterministic-output paths
+    /// (figure CSVs) leave it disabled.
+    ///
+    /// [`Metrics::decision_latency`]: crate::metrics::Metrics::decision_latency
+    pub record_latency: bool,
 }
 
 impl RunConfig {
@@ -36,15 +44,15 @@ impl RunConfig {
             cache_size,
             series_window: None,
             warmup_jobs: 0,
+            record_latency: false,
         }
     }
 
     /// Same, but excluding the first `warmup_jobs` jobs from the metrics.
     pub fn with_warmup(cache_size: Bytes, warmup_jobs: u64) -> Self {
         Self {
-            cache_size,
-            series_window: None,
             warmup_jobs,
+            ..Self::new(cache_size)
         }
     }
 }
@@ -72,7 +80,17 @@ pub fn run_jobs(
         None => Metrics::new(),
     };
     for (i, bundle) in jobs.iter().enumerate() {
-        let outcome = policy.handle(bundle, &mut cache, catalog);
+        let outcome = if cfg.record_latency {
+            let start = std::time::Instant::now();
+            let outcome = policy.handle(bundle, &mut cache, catalog);
+            let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            if (i as u64) >= cfg.warmup_jobs {
+                metrics.decision_latency.record(nanos);
+            }
+            outcome
+        } else {
+            policy.handle(bundle, &mut cache, catalog)
+        };
         debug_assert!(cache.check_invariants());
         debug_assert!(!outcome.serviced || outcome.streamed || cache.supports(bundle));
         if (i as u64) >= cfg.warmup_jobs {
@@ -129,9 +147,8 @@ mod tests {
             &mut policy,
             &trace,
             &RunConfig {
-                cache_size: 4,
                 series_window: Some(2),
-                warmup_jobs: 0,
+                ..RunConfig::new(4)
             },
         );
         assert_eq!(m.series.len(), 2); // 5 jobs -> 2 full windows of 2
@@ -150,6 +167,25 @@ mod tests {
         let mut policy = Lru::new();
         let m = run_trace(&mut policy, &trace, &RunConfig::with_warmup(100, 99));
         assert_eq!(m.jobs, 0);
+    }
+
+    #[test]
+    fn latency_recording_samples_every_measured_job() {
+        let trace = tiny_trace();
+        let mut policy = OptFileBundle::new();
+        let cfg = RunConfig {
+            record_latency: true,
+            warmup_jobs: 2,
+            ..RunConfig::new(4)
+        };
+        let m = run_trace(&mut policy, &trace, &cfg);
+        // 5 jobs, 2 warmup: 3 samples, and the percentiles are defined.
+        assert_eq!(m.decision_latency.len(), 3);
+        assert!(m.decision_latency.p99() >= m.decision_latency.p50());
+        // Off by default: no samples.
+        let mut policy = OptFileBundle::new();
+        let m = run_trace(&mut policy, &trace, &RunConfig::new(4));
+        assert!(m.decision_latency.is_empty());
     }
 
     #[test]

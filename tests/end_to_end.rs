@@ -110,9 +110,8 @@ fn series_recording_is_consistent() {
         &mut policy,
         &trace,
         &RunConfig {
-            cache_size: cache,
             series_window: Some(500),
-            warmup_jobs: 0,
+            ..RunConfig::new(cache)
         },
     );
     assert_eq!(m.series.len(), 6); // 3000 jobs / 500 per window

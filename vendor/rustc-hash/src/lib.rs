@@ -1,0 +1,143 @@
+//! Offline shim of the `rustc-hash` crate (see `vendor/README.md`).
+//!
+//! Provides the FxHash algorithm — the non-cryptographic, *deterministic*
+//! multiply-rotate hash used by the Rust compiler — plus the usual
+//! [`FxHashMap`]/[`FxHashSet`] aliases. Unlike `std`'s default SipHash,
+//! FxHash has no per-process random seed, so hash-map *behaviour* (though
+//! not iteration order, which remains unspecified) is reproducible across
+//! runs, and hashing a 4-byte key compiles to a handful of instructions.
+//!
+//! The workspace uses it on hot, small-key maps in the replacement-decision
+//! path (`FileId → u32` interning, inverted indices, degree tables), where
+//! SipHash's per-lookup cost is measurable. Never use FxHash on untrusted
+//! input: it is trivially collision-attackable by construction.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A speedy hash map keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A speedy hash set keyed by [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` producing [`FxHasher`]s (zero-sized, deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The multiplicative constant of FxHash: `π`'s fractional bits, chosen by
+/// the Firefox/rustc lineage of the algorithm for good avalanche on low
+/// bits after the rotate.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: `hash = (hash.rotate_left(5) ^ word) * SEED` per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&"file-bundle"), hash_of(&"file-bundle"));
+        assert_eq!(hash_of(&vec![1u32, 2, 3]), hash_of(&vec![1u32, 2, 3]));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_of(&0u32), hash_of(&1u32));
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 4][..]));
+        // Unequal-length prefixes must not collide (the tail-length tag).
+        assert_ne!(hash_of(&[0u8; 3][..]), hash_of(&[0u8; 4][..]));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+
+    #[test]
+    fn byte_stream_chunking_matches_word_writes() {
+        // 16 bytes = two exact chunks; no tail path.
+        let bytes = [1u8, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0];
+        let mut a = FxHasher::default();
+        a.write(&bytes);
+        let mut b = FxHasher::default();
+        b.write_u64(1);
+        b.write_u64(2);
+        assert_eq!(a.finish(), b.finish());
+    }
+}
