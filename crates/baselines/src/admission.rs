@@ -89,8 +89,8 @@ impl<P: CachePolicy> CachePolicy for AdmissionGate<P> {
         &self.name
     }
 
-    fn prepare(&mut self, trace: &[Bundle]) {
-        self.inner.prepare(trace);
+    fn prepare_from(&mut self, trace: &mut dyn Iterator<Item = &Bundle>) {
+        self.inner.prepare_from(trace);
     }
 
     fn handle(

@@ -11,13 +11,20 @@
 //! The bundle adaptation is the same as for the other baselines: all of a
 //! request's missing files are fetched, every file of the bundle is
 //! "touched", and files of the in-flight bundle are never victims.
+//!
+//! All four lists are [`OrderedList`]s (slab + position map), so every list
+//! transition is `O(1)` instead of the reference's `O(n)`
+//! scan-and-`VecDeque::remove`, and `|T1|` in bytes is a maintained counter
+//! instead of a per-eviction sum over a nested cache scan.
 
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::{Bytes, FileId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+
+use crate::util::OrderedList;
 
 /// Which resident list a file is on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,13 +39,16 @@ pub struct Arc {
     /// Resident membership.
     resident: HashMap<FileId, List>,
     /// LRU orders (front = oldest).
-    t1: VecDeque<FileId>,
-    t2: VecDeque<FileId>,
-    /// Ghost lists of evicted ids (front = oldest) with their sizes.
-    b1: VecDeque<(FileId, Bytes)>,
-    b2: VecDeque<(FileId, Bytes)>,
+    t1: OrderedList<()>,
+    t2: OrderedList<()>,
+    /// Ghost lists of evicted ids (front = oldest), valued by file size.
+    b1: OrderedList<Bytes>,
+    b2: OrderedList<Bytes>,
     b1_bytes: Bytes,
     b2_bytes: Bytes,
+    /// Maintained byte total of `t1` (the reference recomputed this per
+    /// eviction with a nested scan over the cache).
+    t1_bytes: Bytes,
     /// Adaptation target for `T1`, in bytes.
     p: Bytes,
     /// Ghost capacity (matches the cache size; set lazily on first use).
@@ -56,14 +66,167 @@ impl Arc {
         self.p
     }
 
-    fn remove_from_list(deque: &mut VecDeque<FileId>, f: FileId) {
+    /// Registers an access to `f` (resident or not), performing ARC's
+    /// adaptation and list transitions for the *metadata*.
+    fn touch(&mut self, f: FileId, size: Bytes, cache_capacity: Bytes) {
+        self.ghost_capacity = cache_capacity;
+        match self.resident.get(&f).copied() {
+            Some(List::T1) => {
+                // Promotion to frequency list.
+                self.t1.remove(f);
+                self.t1_bytes -= size;
+                self.t2.push_back(f, ());
+                self.resident.insert(f, List::T2);
+            }
+            Some(List::T2) => {
+                // Refresh recency within T2.
+                self.t2.move_to_back(f, ());
+            }
+            None => {
+                // Ghost hits adapt p before (re)admission to T2/T1.
+                if let Some(s) = self.b1.remove(f) {
+                    // Recency ghost: grow T1's share.
+                    self.b1_bytes -= s;
+                    let delta = size.max(1);
+                    self.p = (self.p + delta).min(cache_capacity);
+                    self.t2.push_back(f, ());
+                    self.resident.insert(f, List::T2);
+                } else if let Some(s) = self.b2.remove(f) {
+                    // Frequency ghost: shrink T1's share.
+                    self.b2_bytes -= s;
+                    let delta = size.max(1);
+                    self.p = self.p.saturating_sub(delta);
+                    self.t2.push_back(f, ());
+                    self.resident.insert(f, List::T2);
+                } else {
+                    // Brand new: recency list.
+                    self.t1.push_back(f, ());
+                    self.t1_bytes += size;
+                    self.resident.insert(f, List::T1);
+                }
+            }
+        }
+    }
+}
+
+impl CachePolicy for Arc {
+    fn name(&self) -> &str {
+        "ARC"
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        // Destructure so the evictor closure can borrow the lists and
+        // counters disjointly (the reference needed a RefCell dance here).
+        let Self {
+            resident,
+            t1,
+            t2,
+            b1,
+            b2,
+            b1_bytes,
+            b2_bytes,
+            t1_bytes,
+            p,
+            ghost_capacity,
+        } = self;
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            // LRU of T1 if |T1| > p, else LRU of T2; fall through to the
+            // other list when every entry is pinned or in-flight.
+            let from_t1 = *t1_bytes > *p;
+            let (primary, secondary) = if from_t1 {
+                (&mut *t1, &mut *t2)
+            } else {
+                (&mut *t2, &mut *t1)
+            };
+            let victim = primary
+                .choose(cache, bundle)
+                .or_else(|| secondary.choose(cache, bundle))?;
+            // Move the victim's metadata to the matching ghost list. Sizes
+            // come from the catalog, which is what the cache admitted.
+            let size = catalog.size(victim);
+            match resident.remove(&victim) {
+                Some(List::T1) => {
+                    *t1_bytes -= size;
+                    b1.push_back(victim, size);
+                    *b1_bytes += size;
+                }
+                Some(List::T2) => {
+                    b2.push_back(victim, size);
+                    *b2_bytes += size;
+                }
+                None => {}
+            }
+            // Keep each ghost list within the cache size in bytes.
+            while *b1_bytes > *ghost_capacity {
+                match b1.pop_front() {
+                    Some((_, s)) => *b1_bytes -= s,
+                    None => break,
+                }
+            }
+            while *b2_bytes > *ghost_capacity {
+                match b2.pop_front() {
+                    Some((_, s)) => *b2_bytes -= s,
+                    None => break,
+                }
+            }
+            Some(victim)
+        });
+        if outcome.serviced {
+            let capacity = cache.capacity();
+            for f in bundle.iter() {
+                self.touch(f, catalog.size(f), capacity);
+            }
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        *self = Arc::default();
+    }
+}
+
+/// The pre-index ARC (VecDeque scans + per-eviction `|T1|`-bytes recompute),
+/// retained verbatim so the differential suite can pin [`Arc`]'s list-based
+/// victim selection against it.
+#[cfg(any(test, feature = "reference-kernels"))]
+#[derive(Debug, Clone, Default)]
+pub struct ArcReference {
+    resident: HashMap<FileId, List>,
+    t1: std::collections::VecDeque<FileId>,
+    t2: std::collections::VecDeque<FileId>,
+    b1: std::collections::VecDeque<(FileId, Bytes)>,
+    b2: std::collections::VecDeque<(FileId, Bytes)>,
+    b1_bytes: Bytes,
+    b2_bytes: Bytes,
+    p: Bytes,
+    ghost_capacity: Bytes,
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl ArcReference {
+    /// Creates an empty reference ARC policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current adaptation target `p` in bytes (diagnostics).
+    pub fn adaptation_target(&self) -> Bytes {
+        self.p
+    }
+
+    fn remove_from_list(deque: &mut std::collections::VecDeque<FileId>, f: FileId) {
         if let Some(pos) = deque.iter().position(|&x| x == f) {
             deque.remove(pos);
         }
     }
 
     fn ghost_remove(
-        ghosts: &mut VecDeque<(FileId, Bytes)>,
+        ghosts: &mut std::collections::VecDeque<(FileId, Bytes)>,
         total: &mut Bytes,
         f: FileId,
     ) -> Option<Bytes> {
@@ -77,7 +240,6 @@ impl Arc {
     }
 
     fn trim_ghosts(&mut self) {
-        // Keep each ghost list within the cache size in bytes.
         while self.b1_bytes > self.ghost_capacity {
             if let Some((_, s)) = self.b1.pop_front() {
                 self.b1_bytes -= s;
@@ -94,39 +256,30 @@ impl Arc {
         }
     }
 
-    /// Registers an access to `f` (resident or not), performing ARC's
-    /// adaptation and list transitions for the *metadata*. Returns whether
-    /// the file was a ghost hit (steered `p`).
     fn touch(&mut self, f: FileId, size: Bytes, cache_capacity: Bytes) {
         self.ghost_capacity = cache_capacity;
         match self.resident.get(&f).copied() {
             Some(List::T1) => {
-                // Promotion to frequency list.
                 Self::remove_from_list(&mut self.t1, f);
                 self.t2.push_back(f);
                 self.resident.insert(f, List::T2);
             }
             Some(List::T2) => {
-                // Refresh recency within T2.
                 Self::remove_from_list(&mut self.t2, f);
                 self.t2.push_back(f);
             }
             None => {
-                // Ghost hits adapt p before (re)admission to T2/T1.
                 if Self::ghost_remove(&mut self.b1, &mut self.b1_bytes, f).is_some() {
-                    // Recency ghost: grow T1's share.
                     let delta = size.max(1);
                     self.p = (self.p + delta).min(cache_capacity);
                     self.t2.push_back(f);
                     self.resident.insert(f, List::T2);
                 } else if Self::ghost_remove(&mut self.b2, &mut self.b2_bytes, f).is_some() {
-                    // Frequency ghost: shrink T1's share.
                     let delta = size.max(1);
                     self.p = self.p.saturating_sub(delta);
                     self.t2.push_back(f);
                     self.resident.insert(f, List::T2);
                 } else {
-                    // Brand new: recency list.
                     self.t1.push_back(f);
                     self.resident.insert(f, List::T1);
                 }
@@ -134,8 +287,6 @@ impl Arc {
         }
     }
 
-    /// Chooses the ARC victim: LRU of `T1` if `|T1| > p`, else LRU of `T2`
-    /// (skipping files in `exclude` or pinned).
     fn choose_victim(&self, cache: &CacheState, exclude: &Bundle) -> Option<FileId> {
         let t1_bytes: Bytes = self
             .t1
@@ -154,7 +305,6 @@ impl Arc {
             .copied()
     }
 
-    /// Moves an evicted file's metadata to the appropriate ghost list.
     fn on_evict(&mut self, f: FileId, size: Bytes) {
         match self.resident.remove(&f) {
             Some(List::T1) => {
@@ -173,7 +323,8 @@ impl Arc {
     }
 }
 
-impl CachePolicy for Arc {
+#[cfg(any(test, feature = "reference-kernels"))]
+impl CachePolicy for ArcReference {
     fn name(&self) -> &str {
         "ARC"
     }
@@ -206,7 +357,7 @@ impl CachePolicy for Arc {
     }
 
     fn reset(&mut self) {
-        *self = Arc::default();
+        *self = ArcReference::default();
     }
 }
 
@@ -292,6 +443,7 @@ mod tests {
                 assert!(arc.resident.contains_key(&f), "untracked resident {f}");
             }
             assert_eq!(arc.resident.len(), cache.len());
+            assert_eq!(arc.t1.len() + arc.t2.len(), cache.len());
         }
     }
 
@@ -303,5 +455,40 @@ mod tests {
         assert!(arc.resident.is_empty());
         assert!(arc.t1.is_empty() && arc.t2.is_empty());
         assert_eq!(arc.adaptation_target(), 0);
+    }
+
+    /// Every list transition and the tracked `|T1|` byte counter must
+    /// replay the reference ARC exactly, including adaptation of `p`,
+    /// with non-uniform sizes.
+    #[test]
+    fn tracks_reference_with_variable_sizes() {
+        let catalog = FileCatalog::from_sizes((0..18).map(|i| (i % 4) + 1).collect());
+        let mut state = 0xA2C2u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut fast = Arc::new();
+        let mut slow = ArcReference::new();
+        let mut cache_fast = CacheState::new(10);
+        let mut cache_slow = CacheState::new(10);
+        for i in 0..400 {
+            let k = (next() % 3 + 1) as usize;
+            let r = Bundle::from_raw((0..k).map(|_| (next() % 18) as u32));
+            let a = fast.handle(&r, &mut cache_fast, &catalog);
+            let b = slow.handle(&r, &mut cache_slow, &catalog);
+            assert_eq!(a, b, "diverged at request {i}");
+            assert_eq!(
+                fast.adaptation_target(),
+                slow.adaptation_target(),
+                "p diverged at request {i}"
+            );
+        }
+        assert_eq!(
+            cache_fast.resident_files_sorted(),
+            cache_slow.resident_files_sorted()
+        );
     }
 }

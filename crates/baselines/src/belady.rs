@@ -5,15 +5,41 @@
 //! optimal for unit-size single-object caches; with variable file sizes and
 //! bundle semantics it is merely a strong clairvoyant heuristic, giving a
 //! useful lower-bound-ish reference curve for the simulators.
+//!
+//! Victim selection is indexed by a [`LazyHeap`] keyed on `Reverse(next
+//! use)`. A resident file's next use only changes when the file is
+//! requested — and a requested file is never an eviction candidate for its
+//! own request — so re-keying the bundle's files after each service keeps
+//! every heap key exact.
 
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::FileId;
+use std::cmp::Reverse;
 use std::collections::HashMap;
 
-use crate::util::choose_victim_min_by;
+use crate::util::LazyHeap;
+
+fn next_use_of(
+    uses: &HashMap<FileId, Vec<u64>>,
+    cursor: &HashMap<FileId, usize>,
+    now: u64,
+    file: FileId,
+) -> u64 {
+    match uses.get(&file) {
+        None => u64::MAX,
+        Some(positions) => {
+            let start = cursor.get(&file).copied().unwrap_or(0);
+            positions[start..]
+                .iter()
+                .copied()
+                .find(|&p| p > now)
+                .unwrap_or(u64::MAX)
+        }
+    }
+}
 
 /// Clairvoyant farthest-next-use replacement.
 #[derive(Debug, Clone, Default)]
@@ -26,6 +52,8 @@ pub struct BeladyMin {
     /// Index of the request currently being handled.
     now: u64,
     prepared: bool,
+    /// Resident files keyed by `Reverse(next use)`.
+    index: LazyHeap<Reverse<u64>>,
 }
 
 impl BeladyMin {
@@ -38,17 +66,7 @@ impl BeladyMin {
     /// Position of the next use of `file` strictly after the current
     /// request, or `u64::MAX` if never used again.
     fn next_use(&self, file: FileId) -> u64 {
-        match self.uses.get(&file) {
-            None => u64::MAX,
-            Some(positions) => {
-                let start = self.cursor.get(&file).copied().unwrap_or(0);
-                positions[start..]
-                    .iter()
-                    .copied()
-                    .find(|&p| p > self.now)
-                    .unwrap_or(u64::MAX)
-            }
-        }
+        next_use_of(&self.uses, &self.cursor, self.now, file)
     }
 
     /// Advances cursors for the bundle's files past the current position.
@@ -69,11 +87,12 @@ impl CachePolicy for BeladyMin {
         "Belady-MIN"
     }
 
-    fn prepare(&mut self, trace: &[Bundle]) {
+    fn prepare_from(&mut self, trace: &mut dyn Iterator<Item = &Bundle>) {
         self.uses.clear();
         self.cursor.clear();
         self.now = 0;
-        for (pos, bundle) in trace.iter().enumerate() {
+        self.index.clear();
+        for (pos, bundle) in trace.enumerate() {
             for f in bundle.iter() {
                 self.uses.entry(f).or_default().push(pos as u64);
             }
@@ -91,10 +110,110 @@ impl CachePolicy for BeladyMin {
             self.prepared,
             "BeladyMin::prepare must be called with the trace before handling requests"
         );
-        let this: &BeladyMin = self;
+        let uses = &self.uses;
+        let cursor = &self.cursor;
+        let now = self.now;
+        let index = &mut self.index;
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            if index.len() != cache.len() {
+                index.rebuild(
+                    cache
+                        .iter()
+                        .map(|(f, _)| (f, Reverse(next_use_of(uses, cursor, now, f)))),
+                );
+            }
+            index.choose(cache, bundle)
+        });
+        for &f in &outcome.evicted_files {
+            self.index.remove(f);
+        }
+        self.advance(bundle);
+        // Re-key the requested files: their next use just moved (the key is
+        // computed before `now` advances, so "strictly after the current
+        // request" still means after this one).
+        for f in bundle.iter() {
+            if cache.contains(f) {
+                self.index.update(f, Reverse(self.next_use(f)));
+            }
+        }
+        self.now += 1;
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.uses.clear();
+        self.cursor.clear();
+        self.now = 0;
+        self.prepared = false;
+        self.index.clear();
+    }
+}
+
+/// The pre-index full-scan Belady MIN, retained verbatim so the differential
+/// suite can pin [`BeladyMin`]'s indexed victim selection against it.
+#[cfg(any(test, feature = "reference-kernels"))]
+#[derive(Debug, Clone, Default)]
+pub struct BeladyMinReference {
+    uses: HashMap<FileId, Vec<u64>>,
+    cursor: HashMap<FileId, usize>,
+    now: u64,
+    prepared: bool,
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl BeladyMinReference {
+    /// Creates an unprepared reference policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn next_use(&self, file: FileId) -> u64 {
+        next_use_of(&self.uses, &self.cursor, self.now, file)
+    }
+
+    fn advance(&mut self, bundle: &Bundle) {
+        for f in bundle.iter() {
+            if let Some(positions) = self.uses.get(&f) {
+                let cur = self.cursor.entry(f).or_insert(0);
+                while *cur < positions.len() && positions[*cur] <= self.now {
+                    *cur += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl CachePolicy for BeladyMinReference {
+    fn name(&self) -> &str {
+        "Belady-MIN"
+    }
+
+    fn prepare_from(&mut self, trace: &mut dyn Iterator<Item = &Bundle>) {
+        self.uses.clear();
+        self.cursor.clear();
+        self.now = 0;
+        for (pos, bundle) in trace.enumerate() {
+            for f in bundle.iter() {
+                self.uses.entry(f).or_default().push(pos as u64);
+            }
+        }
+        self.prepared = true;
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        debug_assert!(self.prepared, "prepare must be called before handling");
+        let this: &BeladyMinReference = self;
         let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
             // Victim = farthest next use; `Reverse` turns max into min-by.
-            choose_victim_min_by(cache, bundle, |f, _| std::cmp::Reverse(this.next_use(f)))
+            crate::util::choose_victim_min_by_reference(cache, bundle, |f, _| {
+                Reverse(this.next_use(f))
+            })
         });
         self.advance(bundle);
         self.now += 1;

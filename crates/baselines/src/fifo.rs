@@ -1,5 +1,10 @@
 //! First-In-First-Out replacement, bundle-adapted: the victim is the file
 //! that has been resident the longest, regardless of use.
+//!
+//! Victim selection is indexed by an [`OrderedList`] in admission order:
+//! newly fetched files append at the back (in ascending-id order within a
+//! request, matching the reference scan's id tie-break) and hits never move
+//! anything, so the front is always the reference scan's choice.
 
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
@@ -8,13 +13,15 @@ use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::FileId;
 use std::collections::HashMap;
 
-use crate::util::choose_victim_min_by;
+use crate::util::OrderedList;
 
 /// FIFO replacement policy.
 #[derive(Debug, Clone, Default)]
 pub struct Fifo {
     clock: u64,
     admitted_at: HashMap<FileId, u64>,
+    /// Residents in admission order (front = oldest admission).
+    order: OrderedList<()>,
 }
 
 impl Fifo {
@@ -37,10 +44,22 @@ impl CachePolicy for Fifo {
     ) -> RequestOutcome {
         self.clock += 1;
         let admitted_at = &self.admitted_at;
+        let order = &mut self.order;
         let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
-            choose_victim_min_by(cache, bundle, |f, _| {
-                admitted_at.get(&f).copied().unwrap_or(0)
-            })
+            if order.len() != cache.len() {
+                // Policy state is out of step with the cache (e.g. reset
+                // against a warm cache): rebuild in (tick, id) order.
+                let mut residents: Vec<(u64, FileId)> = cache
+                    .iter()
+                    .map(|(f, _)| (admitted_at.get(&f).copied().unwrap_or(0), f))
+                    .collect();
+                residents.sort_unstable();
+                order.clear();
+                for (_, f) in residents {
+                    order.push_back(f, ());
+                }
+            }
+            order.choose(cache, bundle)
         });
         for f in &outcome.evicted_files {
             self.admitted_at.remove(f);
@@ -48,6 +67,59 @@ impl CachePolicy for Fifo {
         // Only *newly fetched* files get an admission stamp; hits on
         // resident files do not renew their lease (that's what makes it
         // FIFO rather than LRU).
+        for f in &outcome.fetched_files {
+            self.admitted_at.insert(*f, self.clock);
+            self.order.push_back(*f, ());
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.clock = 0;
+        self.admitted_at.clear();
+        self.order.clear();
+    }
+}
+
+/// The pre-index full-scan FIFO, retained verbatim so the differential suite
+/// can pin [`Fifo`]'s indexed victim selection against it.
+#[cfg(any(test, feature = "reference-kernels"))]
+#[derive(Debug, Clone, Default)]
+pub struct FifoReference {
+    clock: u64,
+    admitted_at: HashMap<FileId, u64>,
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl FifoReference {
+    /// Creates an empty reference FIFO policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl CachePolicy for FifoReference {
+    fn name(&self) -> &str {
+        "FIFO"
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        self.clock += 1;
+        let admitted_at = &self.admitted_at;
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            crate::util::choose_victim_min_by_reference(cache, bundle, |f, _| {
+                admitted_at.get(&f).copied().unwrap_or(0)
+            })
+        });
+        for f in &outcome.evicted_files {
+            self.admitted_at.remove(f);
+        }
         for f in &outcome.fetched_files {
             self.admitted_at.insert(*f, self.clock);
         }

@@ -6,6 +6,15 @@
 //! natural model for a data-grid), `H(f) = L + freq(f)` — frequency with
 //! aging. GDSF is the strongest of the classic web-caching heuristics and a
 //! natural additional comparator beyond the paper's Landlord.
+//!
+//! Victim selection is indexed by a [`LazyHeap`] keyed on the stored H
+//! values, which only change when a file is serviced (L is folded into H at
+//! insertion time, exactly as the classic priority-queue formulation of the
+//! GreedyDual family prescribes). The one subtlety is a resync against a
+//! warm cache: residents with no stored H are keyed `L + freq` with the
+//! *current* L, so while any such file remains resident the index is
+//! re-keyed per eviction round (matching the reference scan bit-for-bit)
+//! until every resident has a stored H again.
 
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
@@ -14,7 +23,7 @@ use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::FileId;
 use std::collections::HashMap;
 
-use crate::util::choose_victim_min_by;
+use crate::util::{LazyHeap, OrdF64};
 
 /// How GDSF computes per-file cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,6 +35,14 @@ pub enum GdsfCost {
     Uniform,
 }
 
+fn h_value_of(cost: GdsfCost, l: f64, freq: &HashMap<FileId, u64>, f: FileId, size: u64) -> f64 {
+    let freq = freq.get(&f).copied().unwrap_or(0) as f64;
+    match cost {
+        GdsfCost::SizeProportional => l + freq,
+        GdsfCost::Uniform => l + freq / size.max(1) as f64,
+    }
+}
+
 /// The GDSF policy.
 #[derive(Debug, Clone, Default)]
 pub struct Gdsf {
@@ -34,6 +51,12 @@ pub struct Gdsf {
     h: HashMap<FileId, f64>,
     /// Inflation value L.
     l: f64,
+    /// Resident files keyed by H.
+    index: LazyHeap<OrdF64>,
+    /// Set while some resident lacks a stored H (post-resync): such files
+    /// are keyed with the current L, so the index must be re-keyed per
+    /// eviction round until they are all serviced or evicted.
+    force_resync: bool,
 }
 
 impl Gdsf {
@@ -56,11 +79,7 @@ impl Gdsf {
     }
 
     fn h_value(&self, f: FileId, size: u64) -> f64 {
-        let freq = self.freq.get(&f).copied().unwrap_or(0) as f64;
-        match self.cost {
-            GdsfCost::SizeProportional => self.l + freq,
-            GdsfCost::Uniform => self.l + freq / size.max(1) as f64,
-        }
+        h_value_of(self.cost, self.l, &self.freq, f, size)
     }
 }
 
@@ -78,19 +97,136 @@ impl CachePolicy for Gdsf {
         cache: &mut CacheState,
         catalog: &FileCatalog,
     ) -> RequestOutcome {
-        // Update frequencies and H-values of the bundle's files up front;
-        // inflation L is read from the victims as they are chosen.
-        let mut evicted_h: Vec<f64> = Vec::new();
+        // Inflation L is read from the victims as they are chosen; H-values
+        // and frequencies of the bundle's files update after service.
+        let mut max_evicted_h: Option<f64> = None;
+        let mut force_resync = self.force_resync;
         let outcome = {
-            let this: &Gdsf = &*self;
-            let evicted_h = &mut evicted_h;
+            let cost = self.cost;
+            let l = self.l;
+            let freq = &self.freq;
+            let h = &self.h;
+            let index = &mut self.index;
+            let max_evicted_h = &mut max_evicted_h;
+            let force_resync = &mut force_resync;
             service_with_evictor(bundle, cache, catalog, move |cache| {
-                let victim = choose_victim_min_by(cache, bundle, |f, size| {
-                    this.h
+                if *force_resync || index.len() != cache.len() {
+                    let mut missing = false;
+                    index.rebuild(cache.iter().map(|(f, size)| {
+                        let key = match h.get(&f) {
+                            Some(&v) => v,
+                            None => {
+                                missing = true;
+                                h_value_of(cost, l, freq, f, size)
+                            }
+                        };
+                        (f, OrdF64(key))
+                    }));
+                    *force_resync = missing;
+                }
+                let victim = index.choose(cache, bundle);
+                if let Some(f) = victim {
+                    let size = catalog.size(f);
+                    let hv = h
                         .get(&f)
                         .copied()
-                        .unwrap_or_else(|| this.h_value(f, size))
-                });
+                        .unwrap_or_else(|| h_value_of(cost, l, freq, f, size));
+                    *max_evicted_h = Some(max_evicted_h.map_or(hv, |a| a.max(hv)));
+                }
+                victim
+            })
+        };
+        self.force_resync = force_resync;
+
+        if let Some(max_h) = max_evicted_h {
+            // L rises to the largest H evicted in this round.
+            self.l = self.l.max(max_h);
+        }
+        for f in &outcome.evicted_files {
+            self.freq.remove(f);
+            self.h.remove(f);
+            self.index.remove(*f);
+        }
+        if outcome.serviced {
+            for f in bundle.iter() {
+                *self.freq.entry(f).or_insert(0) += 1;
+                let h = self.h_value(f, catalog.size(f));
+                self.h.insert(f, h);
+                if cache.contains(f) {
+                    self.index.update(f, OrdF64(h));
+                }
+            }
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.freq.clear();
+        self.h.clear();
+        self.l = 0.0;
+        self.index.clear();
+        self.force_resync = false;
+    }
+}
+
+/// The pre-index full-scan GDSF, retained verbatim so the differential suite
+/// can pin [`Gdsf`]'s indexed victim selection against it.
+#[cfg(any(test, feature = "reference-kernels"))]
+#[derive(Debug, Clone, Default)]
+pub struct GdsfReference {
+    cost: GdsfCost,
+    freq: HashMap<FileId, u64>,
+    h: HashMap<FileId, f64>,
+    l: f64,
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl GdsfReference {
+    /// Reference GDSF with size-proportional cost.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reference GDSF with an explicit cost model.
+    pub fn with_cost(cost: GdsfCost) -> Self {
+        Self {
+            cost,
+            ..Self::default()
+        }
+    }
+
+    fn h_value(&self, f: FileId, size: u64) -> f64 {
+        h_value_of(self.cost, self.l, &self.freq, f, size)
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl CachePolicy for GdsfReference {
+    fn name(&self) -> &str {
+        match self.cost {
+            GdsfCost::SizeProportional => "GDSF",
+            GdsfCost::Uniform => "GDSF(uniform-cost)",
+        }
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        let mut evicted_h: Vec<f64> = Vec::new();
+        let outcome = {
+            let this: &GdsfReference = &*self;
+            let evicted_h = &mut evicted_h;
+            service_with_evictor(bundle, cache, catalog, move |cache| {
+                let victim =
+                    crate::util::choose_victim_min_by_reference(cache, bundle, |f, size| {
+                        this.h
+                            .get(&f)
+                            .copied()
+                            .unwrap_or_else(|| this.h_value(f, size))
+                    });
                 if let Some(f) = victim {
                     let size = cache
                         .iter()
@@ -113,7 +249,6 @@ impl CachePolicy for Gdsf {
             .copied()
             .fold(None::<f64>, |acc, h| Some(acc.map_or(h, |a| a.max(h))))
         {
-            // L rises to the largest H evicted in this round.
             self.l = self.l.max(max_h);
         }
         for f in &outcome.evicted_files {
@@ -201,5 +336,26 @@ mod tests {
         let out = g.handle(&b(&[2]), &mut cache, &catalog);
         assert_eq!(out.evicted_files, vec![FileId(0)]);
         assert!(cache.contains(FileId(1)));
+    }
+
+    /// A reset against a warm cache leaves residents with no stored H; the
+    /// index must keep matching the reference until that state heals.
+    #[test]
+    fn warm_reset_tracks_reference() {
+        let catalog = FileCatalog::from_sizes(vec![1; 8]);
+        let trace: Vec<Bundle> = (0..20u32).map(|i| b(&[i % 5, (i * 3) % 5])).collect();
+        let mut fast = Gdsf::new();
+        let mut slow = GdsfReference::new();
+        let mut cache_fast = CacheState::new(3);
+        let mut cache_slow = CacheState::new(3);
+        for (i, r) in trace.iter().enumerate() {
+            if i == 7 {
+                fast.reset();
+                slow.reset();
+            }
+            let a = fast.handle(r, &mut cache_fast, &catalog);
+            let b = slow.handle(r, &mut cache_slow, &catalog);
+            assert_eq!(a, b, "diverged at request {i}");
+        }
     }
 }

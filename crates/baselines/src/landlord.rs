@@ -8,13 +8,23 @@
 //! credits in `[0, 1]` and an unscaled decrement ([`CostModel::Uniform`]);
 //! the classic greedy-dual-size instantiation ([`CostModel::SizeAware`])
 //! charges rent proportionally to file size and is provided for comparison.
+//!
+//! A rent round inherently touches every tenant, so eviction stays `O(n)` —
+//! but the indexed version runs it as two passes straight over the credit
+//! ledger (no candidate `Vec`, no sort: the victim is the lowest-id file
+//! that goes broke, which a running minimum finds order-independently) and
+//! keeps a sorted *broke list* so the already-broke fast path is
+//! `O(broke)` instead of a full scan. The global rent-offset trick usual
+//! for Landlord priority queues is deliberately not used: files of the
+//! in-flight bundle and pinned files are exempt from each round, so a
+//! shared offset would charge them too and diverge from Algorithm 3.
 
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::FileId;
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// How credits are assigned and rent is charged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -31,6 +41,32 @@ pub enum CostModel {
     SizeAware,
 }
 
+fn initial_credit(cost_model: CostModel, size: u64) -> f64 {
+    match cost_model {
+        CostModel::Uniform => 1.0,
+        CostModel::SizeAware => size as f64,
+    }
+}
+
+fn rent_of(cost_model: CostModel, credit: f64, size: u64) -> f64 {
+    match cost_model {
+        CostModel::Uniform => credit,
+        CostModel::SizeAware => credit / size.max(1) as f64,
+    }
+}
+
+fn broke_insert(broke: &mut Vec<FileId>, f: FileId) {
+    if let Err(i) = broke.binary_search(&f) {
+        broke.insert(i, f);
+    }
+}
+
+fn broke_remove(broke: &mut Vec<FileId>, f: FileId) {
+    if let Ok(i) = broke.binary_search(&f) {
+        broke.remove(i);
+    }
+}
+
 /// The Landlord policy, bundle-adapted (paper Algorithm 3).
 #[derive(Debug, Clone)]
 pub struct Landlord {
@@ -40,7 +76,11 @@ pub struct Landlord {
     /// allows any value in `[0, 1]`; 1.0 (reset to full cost) is the
     /// classic choice and the paper's.
     refresh_fraction: f64,
-    credits: HashMap<FileId, f64>,
+    credits: FxHashMap<FileId, f64>,
+    /// Sorted ids of credited files whose rent is ≤ ε — the "surrender
+    /// without a rent round" fast path. Entries are dropped lazily when the
+    /// file is refreshed, evicted, or no longer resident.
+    broke: Vec<FileId>,
     name: String,
 }
 
@@ -76,7 +116,8 @@ impl Landlord {
         Self {
             cost_model,
             refresh_fraction,
-            credits: HashMap::new(),
+            credits: FxHashMap::default(),
+            broke: Vec::new(),
             name,
         }
     }
@@ -84,13 +125,6 @@ impl Landlord {
     /// Current credit of a file (for tests/diagnostics).
     pub fn credit(&self, file: FileId) -> Option<f64> {
         self.credits.get(&file).copied()
-    }
-
-    fn initial_credit(cost_model: CostModel, size: u64) -> f64 {
-        match cost_model {
-            CostModel::Uniform => 1.0,
-            CostModel::SizeAware => size as f64,
-        }
     }
 }
 
@@ -113,12 +147,207 @@ impl CachePolicy for Landlord {
     ) -> RequestOutcome {
         let cost_model = self.cost_model;
         let credits = &mut self.credits;
+        let broke = &mut self.broke;
 
         // The eviction closure implements Algorithm 3 Step 3: repeatedly
         // find the minimum credit among evictable files not in F(r_new),
         // charge that rent to everyone, and surrender a zero-credit file.
         let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
-            // Candidates: resident, unpinned, not part of the incoming bundle.
+            // A resident file can lack a ledger entry (e.g. the policy was
+            // reset while the cache stayed warm). It must start at its full
+            // initial credit like any other tenant — treating it as credit 0
+            // would hand it over as an "already-broke" victim without ever
+            // charging it rent. When every resident is credited (the steady
+            // state) the ledger length matches the cache and the scan is
+            // skipped.
+            if credits.len() != cache.len() {
+                for (f, size) in cache.iter() {
+                    if !bundle.contains(f) && !cache.is_pinned(f) && !credits.contains_key(&f) {
+                        let c = initial_credit(cost_model, size);
+                        credits.insert(f, c);
+                        if rent_of(cost_model, c, size) <= f64::EPSILON {
+                            broke_insert(broke, f);
+                        }
+                    }
+                }
+            }
+
+            // Look for an already-broke tenant before charging more rent:
+            // the broke list is sorted, so the first evictable entry is the
+            // reference scan's lowest-id choice.
+            let mut i = 0;
+            while i < broke.len() {
+                let f = broke[i];
+                if !cache.contains(f) || !credits.contains_key(&f) {
+                    broke.remove(i);
+                    continue;
+                }
+                if bundle.contains(f) || cache.is_pinned(f) {
+                    i += 1;
+                    continue;
+                }
+                broke.remove(i);
+                credits.remove(&f);
+                return Some(f);
+            }
+
+            // Rent round, two passes over the ledger. Pass 1: δ = minimum
+            // rent among candidates (a min fold is iteration-order
+            // independent: credits are never NaN and never −0.0).
+            let mut delta = f64::INFINITY;
+            let mut candidates = 0usize;
+            for (&f, &c) in credits.iter() {
+                if !cache.contains(f) || bundle.contains(f) || cache.is_pinned(f) {
+                    continue;
+                }
+                candidates += 1;
+                delta = delta.min(rent_of(cost_model, c, catalog.size(f)));
+            }
+            if candidates == 0 {
+                return None;
+            }
+
+            // Pass 2: charge every candidate; the victim is the lowest-id
+            // file whose credit hits zero (a running id-minimum, so the map's
+            // iteration order does not matter).
+            let mut victim: Option<FileId> = None;
+            for (&f, c) in credits.iter_mut() {
+                if !cache.contains(f) || bundle.contains(f) || cache.is_pinned(f) {
+                    continue;
+                }
+                let size = catalog.size(f);
+                let charge = match cost_model {
+                    CostModel::Uniform => delta,
+                    CostModel::SizeAware => delta * size.max(1) as f64,
+                };
+                *c = (*c - charge).max(0.0);
+                if *c <= f64::EPSILON && victim.is_none_or(|v| f < v) {
+                    victim = Some(f);
+                }
+                if rent_of(cost_model, *c, size) <= f64::EPSILON {
+                    broke_insert(broke, f);
+                }
+            }
+            if let Some(f) = victim {
+                credits.remove(&f);
+                broke_remove(broke, f);
+            }
+            victim
+        });
+
+        // Step 4: refresh the credit of every file of the serviced bundle
+        // (newly fetched and already-resident alike). Newly fetched files
+        // always start at full cost; already-resident files move toward it
+        // by the configured refresh fraction.
+        if outcome.serviced {
+            for f in bundle.iter() {
+                let size = catalog.size(f);
+                let full = initial_credit(self.cost_model, size);
+                let new_credit = if outcome.fetched_files.contains(&f) {
+                    full
+                } else {
+                    let current = self.credits.get(&f).copied().unwrap_or(0.0);
+                    current + self.refresh_fraction * (full - current)
+                };
+                self.credits.insert(f, new_credit);
+                if rent_of(self.cost_model, new_credit, size) <= f64::EPSILON {
+                    broke_insert(&mut self.broke, f);
+                } else {
+                    broke_remove(&mut self.broke, f);
+                }
+            }
+        }
+        // Drop credit entries of files evicted by the run (already removed
+        // inside the closure, but eviction can also bypass it on errors).
+        for f in &outcome.evicted_files {
+            self.credits.remove(f);
+            broke_remove(&mut self.broke, *f);
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.credits.clear();
+        self.broke.clear();
+    }
+}
+
+/// The pre-index Landlord (per-eviction candidate collect + sort), retained
+/// verbatim so the differential suite can pin [`Landlord`]'s two-pass rent
+/// round against it.
+#[cfg(any(test, feature = "reference-kernels"))]
+#[derive(Debug, Clone)]
+pub struct LandlordReference {
+    cost_model: CostModel,
+    refresh_fraction: f64,
+    credits: std::collections::HashMap<FileId, f64>,
+    name: String,
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl LandlordReference {
+    /// Reference Landlord with the paper's uniform cost model.
+    pub fn new() -> Self {
+        Self::with_cost_model(CostModel::Uniform)
+    }
+
+    /// Reference Landlord with an explicit cost model (full refresh).
+    pub fn with_cost_model(cost_model: CostModel) -> Self {
+        Self::with_refresh(cost_model, 1.0)
+    }
+
+    /// Reference Landlord with an explicit cost model and refresh fraction.
+    pub fn with_refresh(cost_model: CostModel, refresh_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&refresh_fraction),
+            "refresh fraction must be in [0, 1], got {refresh_fraction}"
+        );
+        let base = match cost_model {
+            CostModel::Uniform => "Landlord",
+            CostModel::SizeAware => "Landlord(size-aware)",
+        };
+        let name = if (refresh_fraction - 1.0).abs() < f64::EPSILON {
+            base.to_string()
+        } else {
+            format!("{base}(refresh={refresh_fraction:.2})")
+        };
+        Self {
+            cost_model,
+            refresh_fraction,
+            credits: std::collections::HashMap::new(),
+            name,
+        }
+    }
+
+    /// Current credit of a file (for tests/diagnostics).
+    pub fn credit(&self, file: FileId) -> Option<f64> {
+        self.credits.get(&file).copied()
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl Default for LandlordReference {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl CachePolicy for LandlordReference {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        let cost_model = self.cost_model;
+        let credits = &mut self.credits;
+
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
             let mut candidates: Vec<(FileId, u64)> = cache
                 .iter()
                 .filter(|&(f, _)| !bundle.contains(f) && !cache.is_pinned(f))
@@ -126,29 +355,16 @@ impl CachePolicy for Landlord {
             if candidates.is_empty() {
                 return None;
             }
-            // Deterministic processing order.
             candidates.sort_unstable_by_key(|&(f, _)| f);
 
-            // A resident file can lack a ledger entry (e.g. the policy was
-            // reset while the cache stayed warm). It must start at its full
-            // initial credit like any other tenant — treating it as credit 0
-            // would hand it over as an "already-broke" victim without ever
-            // charging it rent.
             for &(f, size) in &candidates {
                 credits
                     .entry(f)
-                    .or_insert_with(|| Self::initial_credit(cost_model, size));
+                    .or_insert_with(|| initial_credit(cost_model, size));
             }
 
-            let rent = |f: FileId, size: u64| {
-                let c = credits[&f];
-                match cost_model {
-                    CostModel::Uniform => c,
-                    CostModel::SizeAware => c / size.max(1) as f64,
-                }
-            };
+            let rent = |f: FileId, size: u64| rent_of(cost_model, credits[&f], size);
 
-            // Look for an already-broke tenant before charging more rent.
             if let Some(&(f, _)) = candidates
                 .iter()
                 .find(|&&(f, s)| rent(f, s) <= f64::EPSILON)
@@ -179,13 +395,9 @@ impl CachePolicy for Landlord {
             victim
         });
 
-        // Step 4: refresh the credit of every file of the serviced bundle
-        // (newly fetched and already-resident alike). Newly fetched files
-        // always start at full cost; already-resident files move toward it
-        // by the configured refresh fraction.
         if outcome.serviced {
             for f in bundle.iter() {
-                let full = Self::initial_credit(self.cost_model, catalog.size(f));
+                let full = initial_credit(self.cost_model, catalog.size(f));
                 let new_credit = if outcome.fetched_files.contains(&f) {
                     full
                 } else {
@@ -195,8 +407,6 @@ impl CachePolicy for Landlord {
                 self.credits.insert(f, new_credit);
             }
         }
-        // Drop credit entries of files evicted by the run (already removed
-        // inside the closure, but eviction can also bypass it on errors).
         for f in &outcome.evicted_files {
             self.credits.remove(f);
         }
@@ -383,5 +593,43 @@ mod tests {
         ll.handle(&b(&[0]), &mut cache, &catalog);
         ll.reset();
         assert_eq!(ll.credit(FileId(0)), None);
+    }
+
+    /// The two-pass rent round and broke list must replay the reference's
+    /// Algorithm 3 exactly, in both cost models and under partial refresh.
+    #[test]
+    fn tracks_reference_in_both_cost_models() {
+        let catalog = FileCatalog::from_sizes((0..15).map(|i| (i % 4) + 1).collect());
+        for (cost_model, refresh) in [
+            (CostModel::Uniform, 1.0),
+            (CostModel::Uniform, 0.5),
+            (CostModel::SizeAware, 1.0),
+        ] {
+            let mut state = 0x11AAu64;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut fast = Landlord::with_refresh(cost_model, refresh);
+            let mut slow = LandlordReference::with_refresh(cost_model, refresh);
+            let mut cache_fast = CacheState::new(8);
+            let mut cache_slow = CacheState::new(8);
+            for i in 0..300 {
+                let k = (next() % 3 + 1) as usize;
+                let r = Bundle::from_raw((0..k).map(|_| (next() % 15) as u32));
+                let a = fast.handle(&r, &mut cache_fast, &catalog);
+                let b = slow.handle(&r, &mut cache_slow, &catalog);
+                assert_eq!(a, b, "{cost_model:?} diverged at request {i}");
+                for f in (0..15u32).map(FileId) {
+                    assert_eq!(
+                        fast.credit(f),
+                        slow.credit(f),
+                        "{cost_model:?} credit of {f:?} diverged at request {i}"
+                    );
+                }
+            }
+        }
     }
 }

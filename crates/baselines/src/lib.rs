@@ -26,7 +26,7 @@ pub mod lruk;
 pub mod random;
 pub mod size;
 pub mod slru;
-mod util;
+pub mod util;
 
 pub use admission::AdmissionGate;
 pub use arc::Arc;
@@ -110,6 +110,32 @@ impl PolicyKind {
             PolicyKind::LargestFirst => Box::new(LargestFirst::new()),
             PolicyKind::Slru => Box::new(Slru::new()),
             PolicyKind::BeladyMin => Box::new(BeladyMin::new()),
+        }
+    }
+
+    /// Instantiates the pre-index reference twin of the policy — the
+    /// per-eviction full-scan implementation retained verbatim for
+    /// differential testing and the `perf_eviction` speedup benchmark.
+    /// Returns `None` for [`PolicyKind::OptFileBundle`], whose reference
+    /// kernels live in `fbc-core` (see `tests/kernel_equivalence.rs`).
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn build_reference(self) -> Option<Box<dyn CachePolicy>> {
+        match self {
+            PolicyKind::OptFileBundle => None,
+            PolicyKind::Landlord => Some(Box::new(landlord::LandlordReference::new())),
+            PolicyKind::LandlordSizeAware => Some(Box::new(
+                landlord::LandlordReference::with_cost_model(CostModel::SizeAware),
+            )),
+            PolicyKind::Lru => Some(Box::new(lru::LruReference::new())),
+            PolicyKind::Lru2 => Some(Box::new(lruk::LruKReference::lru2())),
+            PolicyKind::Arc => Some(Box::new(arc::ArcReference::new())),
+            PolicyKind::Lfu => Some(Box::new(lfu::LfuReference::new())),
+            PolicyKind::Gdsf => Some(Box::new(gdsf::GdsfReference::new())),
+            PolicyKind::Fifo => Some(Box::new(fifo::FifoReference::new())),
+            PolicyKind::Random => Some(Box::new(random::RandomEvictReference::new(0xF1BC))),
+            PolicyKind::LargestFirst => Some(Box::new(size::LargestFirstReference::new())),
+            PolicyKind::Slru => Some(Box::new(slru::SlruReference::new())),
+            PolicyKind::BeladyMin => Some(Box::new(belady::BeladyMinReference::new())),
         }
     }
 }

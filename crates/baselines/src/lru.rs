@@ -4,6 +4,11 @@
 //! file with the oldest touch. LRU is the canonical popularity baseline the
 //! paper contrasts with (§1.2): it tracks *file* recency and is blind to
 //! which files are needed *together*.
+//!
+//! Victim selection is indexed by an [`OrderedList`]: serviced bundle files
+//! move to the back in ascending-id order, so the front-to-back order is
+//! exactly the reference scan's `(last-touch tick, FileId)` ranking and each
+//! eviction is O(skipped + 1) instead of O(n log n).
 
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
@@ -12,7 +17,7 @@ use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::FileId;
 use std::collections::HashMap;
 
-use crate::util::choose_victim_min_by;
+use crate::util::OrderedList;
 
 /// LRU replacement policy.
 #[derive(Debug, Clone, Default)]
@@ -21,6 +26,8 @@ pub struct Lru {
     clock: u64,
     /// Last-touch tick per file.
     last_used: HashMap<FileId, u64>,
+    /// Residents in eviction order (front = least recently used).
+    order: OrderedList<()>,
 }
 
 impl Lru {
@@ -48,8 +55,75 @@ impl CachePolicy for Lru {
     ) -> RequestOutcome {
         self.clock += 1;
         let last_used = &self.last_used;
+        let order = &mut self.order;
         let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
-            choose_victim_min_by(cache, bundle, |f, _| {
+            if order.len() != cache.len() {
+                // Policy state is out of step with the cache (e.g. reset
+                // against a warm cache): rebuild in (tick, id) order.
+                let mut residents: Vec<(u64, FileId)> = cache
+                    .iter()
+                    .map(|(f, _)| (last_used.get(&f).copied().unwrap_or(0), f))
+                    .collect();
+                residents.sort_unstable();
+                order.clear();
+                for (_, f) in residents {
+                    order.push_back(f, ());
+                }
+            }
+            order.choose(cache, bundle)
+        });
+        if outcome.serviced {
+            for f in bundle.iter() {
+                self.last_used.insert(f, self.clock);
+                self.order.move_to_back(f, ());
+            }
+        }
+        for f in &outcome.evicted_files {
+            self.last_used.remove(f);
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.clock = 0;
+        self.last_used.clear();
+        self.order.clear();
+    }
+}
+
+/// The pre-index full-scan LRU, retained verbatim so the differential suite
+/// can pin [`Lru`]'s indexed victim selection against it.
+#[cfg(any(test, feature = "reference-kernels"))]
+#[derive(Debug, Clone, Default)]
+pub struct LruReference {
+    clock: u64,
+    last_used: HashMap<FileId, u64>,
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl LruReference {
+    /// Creates an empty reference LRU policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl CachePolicy for LruReference {
+    fn name(&self) -> &str {
+        "LRU"
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        self.clock += 1;
+        let last_used = &self.last_used;
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            crate::util::choose_victim_min_by_reference(cache, bundle, |f, _| {
                 last_used.get(&f).copied().unwrap_or(0)
             })
         });
@@ -119,5 +193,18 @@ mod tests {
         lru.handle(&b(&[0]), &mut cache, &catalog);
         lru.reset();
         assert_eq!(lru.last_used(FileId(0)), None);
+    }
+
+    #[test]
+    fn resyncs_after_reset_against_warm_cache() {
+        let catalog = FileCatalog::from_sizes(vec![1; 4]);
+        let mut cache = CacheState::new(2);
+        let mut lru = Lru::new();
+        lru.handle(&b(&[1]), &mut cache, &catalog);
+        lru.handle(&b(&[0]), &mut cache, &catalog);
+        lru.reset(); // cache stays warm {0, 1}
+        let out = lru.handle(&b(&[2]), &mut cache, &catalog);
+        // All ticks are 0 after the reset: the id tie-break picks f0.
+        assert_eq!(out.evicted_files, vec![FileId(0)]);
     }
 }

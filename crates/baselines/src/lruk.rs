@@ -5,6 +5,10 @@
 //! files, ordered by their oldest recorded reference). K = 2 is the classic
 //! choice: it discriminates between files with genuine re-reference
 //! behaviour and one-shot scans better than plain LRU.
+//!
+//! Victim selection is indexed by a [`LazyHeap`] keyed on the backward
+//! K-distance, reprioritised when a serviced bundle extends a resident
+//! file's reference history.
 
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
@@ -13,7 +17,7 @@ use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::FileId;
 use std::collections::{HashMap, VecDeque};
 
-use crate::util::choose_victim_min_by;
+use crate::util::LazyHeap;
 
 /// The LRU-K policy.
 #[derive(Debug, Clone)]
@@ -23,6 +27,8 @@ pub struct LruK {
     /// The last up-to-K reference ticks per file, newest at the back.
     /// Retained across evictions (the algorithm's "reference history").
     refs: HashMap<FileId, VecDeque<u64>>,
+    /// Resident files keyed by current backward K-distance.
+    index: LazyHeap<u64>,
 }
 
 impl LruK {
@@ -33,6 +39,7 @@ impl LruK {
             k,
             clock: 0,
             refs: HashMap::new(),
+            index: LazyHeap::new(),
         }
     }
 
@@ -45,10 +52,14 @@ impl LruK {
     /// reference, or 0 when fewer than K references exist (making such
     /// files evict first, as the algorithm prescribes).
     fn k_distance(&self, f: FileId) -> u64 {
-        match self.refs.get(&f) {
-            Some(h) if h.len() >= self.k => h[h.len() - self.k],
-            _ => 0,
-        }
+        k_distance_of(&self.refs, self.k, f)
+    }
+}
+
+fn k_distance_of(refs: &HashMap<FileId, VecDeque<u64>>, k: usize, f: FileId) -> u64 {
+    match refs.get(&f) {
+        Some(h) if h.len() >= k => h[h.len() - k],
+        _ => 0,
     }
 }
 
@@ -74,9 +85,94 @@ impl CachePolicy for LruK {
         catalog: &FileCatalog,
     ) -> RequestOutcome {
         self.clock += 1;
-        let this: &LruK = self;
+        let refs = &self.refs;
+        let k = self.k;
+        let index = &mut self.index;
         let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
-            choose_victim_min_by(cache, bundle, |f, _| this.k_distance(f))
+            if index.len() != cache.len() {
+                index.rebuild(cache.iter().map(|(f, _)| (f, k_distance_of(refs, k, f))));
+            }
+            index.choose(cache, bundle)
+        });
+        if outcome.serviced {
+            for f in bundle.iter() {
+                let h = self.refs.entry(f).or_default();
+                h.push_back(self.clock);
+                while h.len() > self.k {
+                    h.pop_front();
+                }
+            }
+            for f in bundle.iter() {
+                if cache.contains(f) {
+                    self.index.update(f, self.k_distance(f));
+                }
+            }
+        }
+        for &f in &outcome.evicted_files {
+            self.index.remove(f);
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.clock = 0;
+        self.refs.clear();
+        self.index.clear();
+    }
+}
+
+/// The pre-index full-scan LRU-K, retained verbatim so the differential
+/// suite can pin [`LruK`]'s indexed victim selection against it.
+#[cfg(any(test, feature = "reference-kernels"))]
+#[derive(Debug, Clone)]
+pub struct LruKReference {
+    k: usize,
+    clock: u64,
+    refs: HashMap<FileId, VecDeque<u64>>,
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl LruKReference {
+    /// Reference LRU-K with the given K (≥ 1).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "K must be at least 1");
+        Self {
+            k,
+            clock: 0,
+            refs: HashMap::new(),
+        }
+    }
+
+    /// The classic LRU-2.
+    pub fn lru2() -> Self {
+        Self::new(2)
+    }
+
+    fn k_distance(&self, f: FileId) -> u64 {
+        k_distance_of(&self.refs, self.k, f)
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl CachePolicy for LruKReference {
+    fn name(&self) -> &str {
+        match self.k {
+            1 => "LRU-1",
+            2 => "LRU-2",
+            _ => "LRU-K",
+        }
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        self.clock += 1;
+        let this: &LruKReference = self;
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            crate::util::choose_victim_min_by_reference(cache, bundle, |f, _| this.k_distance(f))
         });
         if outcome.serviced {
             for f in bundle.iter() {

@@ -1,18 +1,32 @@
 //! Random replacement: the victim is a uniformly random evictable resident
 //! file. A seeded control baseline — any policy worth running should beat it.
+//!
+//! The reference implementation sorted the whole evictable set per eviction
+//! just to index it with one RNG draw. The indexed version keeps a
+//! [`SortedArena`] of residents and answers the same order statistic over
+//! `residents \ excluded` by binary search, replaying the reference's RNG
+//! stream draw-for-draw.
 
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::types::FileId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::util::SortedArena;
 
 /// Random replacement policy (deterministic per seed).
 #[derive(Debug, Clone)]
 pub struct RandomEvict {
     seed: u64,
     rng: StdRng,
+    /// Sorted resident arena; the RNG draw indexes into it.
+    arena: SortedArena,
+    /// Reusable exclusion scratch (in-flight bundle ∩ residents, plus
+    /// pinned files), kept sorted ascending.
+    excl: Vec<FileId>,
 }
 
 impl RandomEvict {
@@ -21,11 +35,95 @@ impl RandomEvict {
         Self {
             seed,
             rng: StdRng::seed_from_u64(seed),
+            arena: SortedArena::new(),
+            excl: Vec::new(),
         }
     }
 }
 
 impl CachePolicy for RandomEvict {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        let rng = &mut self.rng;
+        let arena = &mut self.arena;
+        let excl = &mut self.excl;
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            if arena.len() != cache.len() {
+                arena.rebuild(cache);
+            }
+            // Merge the resident bundle files with the pinned set (both
+            // ascending) into the sorted, deduplicated exclusion list.
+            excl.clear();
+            let mut pins = cache.pinned_files().peekable();
+            for f in bundle.iter().filter(|&f| cache.contains(f)) {
+                while let Some(&p) = pins.peek() {
+                    if p < f {
+                        excl.push(p);
+                        pins.next();
+                    } else if p == f {
+                        pins.next();
+                    } else {
+                        break;
+                    }
+                }
+                excl.push(f);
+            }
+            excl.extend(pins);
+
+            let count = arena.len() - excl.len();
+            if count == 0 {
+                // No candidate: the reference returns before drawing, so
+                // the RNG stream must not advance here either.
+                return None;
+            }
+            let idx = rng.gen_range(0..count);
+            let victim = arena.select_excluding(idx, excl);
+            arena.remove(victim);
+            Some(victim)
+        });
+        for &f in &outcome.fetched_files {
+            self.arena.insert(f);
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.arena.clear();
+        self.excl.clear();
+    }
+}
+
+/// The pre-index sort-per-eviction Random policy, retained verbatim so the
+/// differential suite can pin [`RandomEvict`]'s draw replay against it.
+#[cfg(any(test, feature = "reference-kernels"))]
+#[derive(Debug, Clone)]
+pub struct RandomEvictReference {
+    seed: u64,
+    rng: StdRng,
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl RandomEvictReference {
+    /// Creates the reference policy with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl CachePolicy for RandomEvictReference {
     fn name(&self) -> &str {
         "Random"
     }
@@ -59,7 +157,6 @@ impl CachePolicy for RandomEvict {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fbc_core::types::FileId;
 
     fn b(ids: &[u32]) -> Bundle {
         Bundle::from_raw(ids.iter().copied())
@@ -113,5 +210,46 @@ mod tests {
         p.reset();
         let second = run_once(&mut p);
         assert_eq!(first, second);
+    }
+
+    /// The arena draw must replay the reference's RNG stream exactly,
+    /// including with pinned files narrowing the candidate set.
+    #[test]
+    fn replays_reference_rng_stream_with_pins() {
+        let catalog = FileCatalog::from_sizes(vec![1; 12]);
+        let mut state = 0xD1CEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut fast = RandomEvict::new(99);
+        let mut slow = RandomEvictReference::new(99);
+        let mut cache_fast = CacheState::new(4);
+        let mut cache_slow = CacheState::new(4);
+        let mut pinned: Option<FileId> = None;
+        for i in 0..300 {
+            // Occasionally pin one resident file in both caches.
+            if next() % 5 == 0 {
+                if let Some(p) = pinned.take() {
+                    cache_fast.unpin(p).unwrap();
+                    cache_slow.unpin(p).unwrap();
+                }
+                let candidates = cache_fast.resident_files_sorted();
+                if let Some(&p) = candidates.first() {
+                    if cache_slow.contains(p) {
+                        cache_fast.pin(p).unwrap();
+                        cache_slow.pin(p).unwrap();
+                        pinned = Some(p);
+                    }
+                }
+            }
+            let k = (next() % 2 + 1) as usize;
+            let r = Bundle::from_raw((0..k).map(|_| (next() % 12) as u32));
+            let a = fast.handle(&r, &mut cache_fast, &catalog);
+            let b = slow.handle(&r, &mut cache_slow, &catalog);
+            assert_eq!(a, b, "diverged at request {i}");
+        }
     }
 }

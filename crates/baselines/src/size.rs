@@ -2,23 +2,30 @@
 //! resident file. A classic web-caching heuristic (SIZE) that maximises the
 //! *number* of objects kept — usually at the expense of the byte miss ratio,
 //! which is exactly the trade-off the paper's metric punishes.
+//!
+//! Victim selection is indexed by a [`LazyHeap`] keyed on `Reverse(size)` —
+//! sizes never change, so the index only tracks admissions and evictions.
 
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::types::Bytes;
 use std::cmp::Reverse;
 
-use crate::util::choose_victim_min_by;
+use crate::util::LazyHeap;
 
 /// Largest-first replacement policy.
 #[derive(Debug, Clone, Default)]
-pub struct LargestFirst;
+pub struct LargestFirst {
+    /// Resident files keyed by descending size.
+    index: LazyHeap<Reverse<Bytes>>,
+}
 
 impl LargestFirst {
     /// Creates the policy.
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
 }
 
@@ -33,8 +40,56 @@ impl CachePolicy for LargestFirst {
         cache: &mut CacheState,
         catalog: &FileCatalog,
     ) -> RequestOutcome {
+        let index = &mut self.index;
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            if index.len() != cache.len() {
+                index.rebuild(cache.iter().map(|(f, size)| (f, Reverse(size))));
+            }
+            index.choose(cache, bundle)
+        });
+        for &f in &outcome.fetched_files {
+            self.index.update(f, Reverse(catalog.size(f)));
+        }
+        for &f in &outcome.evicted_files {
+            self.index.remove(f);
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.index.clear();
+    }
+}
+
+/// The pre-index full-scan SIZE policy, retained verbatim so the
+/// differential suite can pin [`LargestFirst`]'s indexed victim selection
+/// against it.
+#[cfg(any(test, feature = "reference-kernels"))]
+#[derive(Debug, Clone, Default)]
+pub struct LargestFirstReference;
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl LargestFirstReference {
+    /// Creates the reference policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl CachePolicy for LargestFirstReference {
+    fn name(&self) -> &str {
+        "SIZE"
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
         service_with_evictor(bundle, cache, catalog, |cache| {
-            choose_victim_min_by(cache, bundle, |_, size| Reverse(size))
+            crate::util::choose_victim_min_by_reference(cache, bundle, |_, size| Reverse(size))
         })
     }
 
@@ -63,9 +118,16 @@ mod tests {
     }
 
     #[test]
-    fn stateless_reset_is_noop() {
+    fn reset_clears_the_index() {
+        let catalog = FileCatalog::from_sizes(vec![5, 3]);
+        let mut cache = CacheState::new(8);
         let mut p = LargestFirst::new();
+        p.handle(&b(&[0]), &mut cache, &catalog);
         p.reset();
         assert_eq!(p.name(), "SIZE");
+        // The index resyncs from the still-warm cache on the next eviction.
+        p.handle(&b(&[1]), &mut cache, &catalog);
+        let out = p.handle(&b(&[0]), &mut cache, &catalog);
+        assert!(out.serviced);
     }
 }

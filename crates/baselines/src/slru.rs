@@ -7,6 +7,11 @@
 //! to probation. Victims always come from probation's LRU end, so one-shot
 //! files can never displace twice-referenced ones — scan resistance with
 //! plain-LRU bookkeeping.
+//!
+//! Victim selection and demotion are indexed by two [`LazyHeap`]s (one per
+//! segment) keyed on last-touch tick, and the protected segment's byte
+//! total is tracked incrementally instead of being recomputed by a full
+//! cache scan per demotion round.
 
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
@@ -14,6 +19,8 @@ use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::{Bytes, FileId};
 use std::collections::HashMap;
+
+use crate::util::LazyHeap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Segment {
@@ -27,8 +34,15 @@ pub struct Slru {
     /// Maximum fraction of the cache the protected segment may hold.
     protected_fraction: f64,
     clock: u64,
-    /// Per-resident-file: segment and last-touch tick.
-    state: HashMap<FileId, (Segment, u64)>,
+    /// Per-resident-file: segment, last-touch tick, and size (cached for
+    /// the incremental protected-bytes accounting).
+    state: HashMap<FileId, (Segment, u64, Bytes)>,
+    /// Probationary residents keyed by last-touch tick.
+    probation: LazyHeap<u64>,
+    /// Protected residents keyed by last-touch tick.
+    protected: LazyHeap<u64>,
+    /// Running byte total of the protected segment.
+    protected_bytes: Bytes,
 }
 
 impl Slru {
@@ -47,36 +61,32 @@ impl Slru {
             protected_fraction,
             clock: 0,
             state: HashMap::new(),
+            probation: LazyHeap::new(),
+            protected: LazyHeap::new(),
+            protected_bytes: 0,
         }
     }
 
     /// Whether `file` currently sits in the protected segment (diagnostics).
     pub fn is_protected(&self, file: FileId) -> bool {
-        matches!(self.state.get(&file), Some((Segment::Protected, _)))
-    }
-
-    fn protected_bytes(&self, cache: &CacheState) -> Bytes {
-        cache
-            .iter()
-            .filter(|(f, _)| matches!(self.state.get(f), Some((Segment::Protected, _))))
-            .map(|(_, s)| s)
-            .sum()
+        matches!(self.state.get(&file), Some((Segment::Protected, _, _)))
     }
 
     /// Demotes protected LRU tails until the protected segment fits its cap.
     fn rebalance(&mut self, cache: &CacheState) {
         let cap = (cache.capacity() as f64 * self.protected_fraction) as Bytes;
-        while self.protected_bytes(cache) > cap {
-            let victim = cache
-                .iter()
-                .filter_map(|(f, _)| match self.state.get(&f) {
-                    Some((Segment::Protected, tick)) => Some((f, *tick)),
-                    _ => None,
-                })
-                .min_by_key(|&(f, tick)| (tick, f));
-            match victim {
+        while self.protected_bytes > cap {
+            match self.protected.pop_min() {
                 Some((f, tick)) => {
-                    self.state.insert(f, (Segment::Probation, tick));
+                    // Demotion keeps the file's tick: it re-enters probation
+                    // at its old recency, exactly as the reference does.
+                    let size = match self.state.get(&f) {
+                        Some(&(_, _, size)) => size,
+                        None => break,
+                    };
+                    self.state.insert(f, (Segment::Probation, tick, size));
+                    self.probation.update(f, tick);
+                    self.protected_bytes -= size;
                 }
                 None => break,
             }
@@ -102,9 +112,148 @@ impl CachePolicy for Slru {
         catalog: &FileCatalog,
     ) -> RequestOutcome {
         self.clock += 1;
-        let state = &self.state;
+        let probation = &mut self.probation;
+        let protected = &mut self.protected;
         // Victim: probation's LRU end; if probation is empty (everything
-        // protected), fall back to protected's LRU end.
+        // protected), fall back to protected's LRU end. Files the policy has
+        // no state for (e.g. after a reset against a warm cache) are not
+        // candidates — the heaps mirror `state`, matching the reference.
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            probation
+                .choose(cache, bundle)
+                .or_else(|| protected.choose(cache, bundle))
+        });
+
+        for f in &outcome.evicted_files {
+            if let Some((segment, _, size)) = self.state.remove(f) {
+                if segment == Segment::Protected {
+                    self.protected_bytes -= size;
+                }
+            }
+            self.probation.remove(*f);
+            self.protected.remove(*f);
+        }
+        if outcome.serviced {
+            for f in bundle.iter() {
+                let size = catalog.size(f);
+                let segment = match self.state.get(&f) {
+                    // Hit on a resident file: promote to protected.
+                    Some(_) if !outcome.fetched_files.contains(&f) => Segment::Protected,
+                    // Newly fetched: probation.
+                    _ => Segment::Probation,
+                };
+                let prev = self.state.insert(f, (segment, self.clock, size));
+                match segment {
+                    Segment::Protected => {
+                        if !matches!(prev, Some((Segment::Protected, _, _))) {
+                            self.protected_bytes += size;
+                            self.probation.remove(f);
+                        }
+                        self.protected.update(f, self.clock);
+                    }
+                    Segment::Probation => {
+                        self.probation.update(f, self.clock);
+                    }
+                }
+            }
+            self.rebalance(cache);
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.clock = 0;
+        self.state.clear();
+        self.probation.clear();
+        self.protected.clear();
+        self.protected_bytes = 0;
+    }
+}
+
+/// The pre-index full-scan SLRU, retained verbatim so the differential
+/// suite can pin [`Slru`]'s indexed victim selection against it.
+#[cfg(any(test, feature = "reference-kernels"))]
+#[derive(Debug, Clone)]
+pub struct SlruReference {
+    protected_fraction: f64,
+    clock: u64,
+    state: HashMap<FileId, (Segment, u64)>,
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl Default for SlruReference {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl SlruReference {
+    /// Reference SLRU with the conventional 80 % protected share.
+    pub fn new() -> Self {
+        Self::with_protected_fraction(0.8)
+    }
+
+    /// Reference SLRU with an explicit protected-segment share in `(0, 1)`.
+    pub fn with_protected_fraction(protected_fraction: f64) -> Self {
+        assert!(
+            protected_fraction > 0.0 && protected_fraction < 1.0,
+            "protected fraction must be in (0, 1), got {protected_fraction}"
+        );
+        Self {
+            protected_fraction,
+            clock: 0,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Whether `file` currently sits in the protected segment (diagnostics).
+    pub fn is_protected(&self, file: FileId) -> bool {
+        matches!(self.state.get(&file), Some((Segment::Protected, _)))
+    }
+
+    fn protected_bytes(&self, cache: &CacheState) -> Bytes {
+        cache
+            .iter()
+            .filter(|(f, _)| matches!(self.state.get(f), Some((Segment::Protected, _))))
+            .map(|(_, s)| s)
+            .sum()
+    }
+
+    fn rebalance(&mut self, cache: &CacheState) {
+        let cap = (cache.capacity() as f64 * self.protected_fraction) as Bytes;
+        while self.protected_bytes(cache) > cap {
+            let victim = cache
+                .iter()
+                .filter_map(|(f, _)| match self.state.get(&f) {
+                    Some((Segment::Protected, tick)) => Some((f, *tick)),
+                    _ => None,
+                })
+                .min_by_key(|&(f, tick)| (tick, f));
+            match victim {
+                Some((f, tick)) => {
+                    self.state.insert(f, (Segment::Probation, tick));
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl CachePolicy for SlruReference {
+    fn name(&self) -> &str {
+        "SLRU"
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        self.clock += 1;
+        let state = &self.state;
         let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
             let evictable = |f: FileId| !bundle.contains(f) && !cache.is_pinned(f);
             let pick = |segment: Segment| {
@@ -126,11 +275,9 @@ impl CachePolicy for Slru {
         if outcome.serviced {
             for f in bundle.iter() {
                 let entry = match self.state.get(&f) {
-                    // Hit on a resident file: promote to protected.
                     Some(_) if !outcome.fetched_files.contains(&f) => {
                         (Segment::Protected, self.clock)
                     }
-                    // Newly fetched: probation.
                     _ => (Segment::Probation, self.clock),
                 };
                 self.state.insert(f, entry);
@@ -212,5 +359,41 @@ mod tests {
     #[should_panic(expected = "protected fraction")]
     fn bad_fraction_rejected() {
         let _ = Slru::with_protected_fraction(1.0);
+    }
+
+    /// The indexed segments and incremental byte accounting must replay the
+    /// reference's choices through promotions, demotions and evictions.
+    #[test]
+    fn tracks_reference_through_demotions() {
+        let catalog = FileCatalog::from_sizes((0..12).map(|i| (i % 3) + 1).collect());
+        let mut state = 0x51A0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let trace: Vec<Bundle> = (0..250)
+            .map(|_| {
+                let k = (next() % 3 + 1) as usize;
+                Bundle::from_raw((0..k).map(|_| (next() % 12) as u32))
+            })
+            .collect();
+        let mut fast = Slru::with_protected_fraction(0.5);
+        let mut slow = SlruReference::with_protected_fraction(0.5);
+        let mut cache_fast = CacheState::new(6);
+        let mut cache_slow = CacheState::new(6);
+        for (i, r) in trace.iter().enumerate() {
+            let a = fast.handle(r, &mut cache_fast, &catalog);
+            let b = slow.handle(r, &mut cache_slow, &catalog);
+            assert_eq!(a, b, "diverged at request {i}");
+            for f in (0..12u32).map(FileId) {
+                assert_eq!(
+                    fast.is_protected(f),
+                    slow.is_protected(f),
+                    "segment of {f:?} diverged at request {i}"
+                );
+            }
+        }
     }
 }

@@ -18,7 +18,7 @@
 //! * a committed `BENCH_core.json` exists and the measured headline
 //!   throughput regressed more than 2× against it.
 
-use fbc_bench::{banner, quick_mode, results_dir};
+use fbc_bench::{banner, extract_number, extract_section, quick_mode, results_dir, upsert_section};
 use fbc_core::instance::FbcInstance;
 use fbc_core::select::{
     best_single, greedy_shared_credit_reference, opt_cache_select_with_scratch, GreedyVariant,
@@ -263,17 +263,14 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
+    // Carry over perf_eviction's section, if a previous run recorded one —
+    // the two perf binaries share the summary file.
+    if let Some(section) = std::fs::read_to_string("BENCH_core.json")
+        .ok()
+        .and_then(|old| extract_section(&old, "perf_eviction"))
+    {
+        json = upsert_section(&json, "perf_eviction", &section);
+    }
     std::fs::write("BENCH_core.json", &json).expect("write BENCH_core.json");
     println!("JSON summary written to BENCH_core.json");
-}
-
-/// Pulls the first number following `key` out of `json` — a deliberately
-/// naive parser for the one scalar the smoke gate needs.
-fn extract_number(json: &str, key: &str) -> Option<f64> {
-    let start = json.find(key)? + key.len();
-    let rest = json[start..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }

@@ -1,0 +1,283 @@
+//! Eviction-path micro-benchmark: eviction throughput (evictions/sec) of
+//! every baseline policy's indexed victim selection against its retained
+//! pre-index full-scan twin (`reference-kernels` feature), across resident
+//! set sizes `n`.
+//!
+//! ```text
+//! cargo run --release -p fbc-bench --bin perf_eviction            # full run
+//! cargo run --release -p fbc-bench --bin perf_eviction -- --smoke # CI gate
+//! ```
+//!
+//! The workload: a catalog of `2n` unit-size files over a cache of `n`
+//! bytes. A warm phase fills the cache to exactly `n` resident files, then
+//! a churn phase requests random pairs from the whole population — about
+//! half of each pair misses, so nearly every request runs the victim
+//! selection path under a full cache. Reference twins get a time budget
+//! instead of a fixed churn length (the pre-index ARC is quadratic per
+//! eviction, so a full 10k churn would take hours); the reported rate is
+//! evictions over measured churn time either way.
+//!
+//! The full run writes `results/perf_eviction.csv` and merges a
+//! `"perf_eviction"` section into `BENCH_core.json`. The `--smoke` mode
+//! writes nothing; it runs reduced sizes and fails (non-zero exit) when
+//! either
+//!
+//! * the geometric-mean indexed-vs-reference speedup at the largest smoke
+//!   size is below 2× (machine-independent ratio), or
+//! * a committed `BENCH_core.json` has a `headline_evictions_per_sec` and
+//!   the measured headline regressed more than 2× against it.
+
+use fbc_baselines::PolicyKind;
+use fbc_bench::{banner, extract_number, quick_mode, results_dir, upsert_section};
+use fbc_core::bundle::Bundle;
+use fbc_core::cache::CacheState;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::policy::CachePolicy;
+use fbc_core::types::Bytes;
+use fbc_sim::report::Table;
+use std::time::Instant;
+
+/// Deterministic xorshift64 generator (no external RNG needed here).
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Warm trace: bundles of 4 consecutive ids covering files `0..n` exactly,
+/// so every policy ends the phase with the same `n` resident files.
+fn warm_trace(n: usize) -> Vec<Bundle> {
+    (0..n / 4)
+        .map(|i| Bundle::from_raw((0..4u32).map(|j| (i * 4) as u32 + j)))
+        .collect()
+}
+
+/// Churn trace: `n` random pairs from the `2n`-file population.
+fn churn_trace(n: usize, seed: u64) -> Vec<Bundle> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            Bundle::from_raw([
+                (xorshift(&mut state) % (2 * n) as u64) as u32,
+                (xorshift(&mut state) % (2 * n) as u64) as u32,
+            ])
+        })
+        .collect()
+}
+
+struct RunResult {
+    evictions: u64,
+    elapsed_ns: u64,
+    /// Churn requests actually processed before the time budget ran out.
+    processed: usize,
+}
+
+/// Prepares the policy on the full trace, replays the warm phase untimed,
+/// then times the churn phase (checking the budget every 32 requests).
+fn run_churn(
+    policy: &mut Box<dyn CachePolicy>,
+    warm: &[Bundle],
+    churn: &[Bundle],
+    catalog: &FileCatalog,
+    capacity: Bytes,
+    budget_ns: u64,
+) -> RunResult {
+    let mut full: Vec<Bundle> = Vec::with_capacity(warm.len() + churn.len());
+    full.extend_from_slice(warm);
+    full.extend_from_slice(churn);
+    policy.prepare(&full);
+    let mut cache = CacheState::new(capacity);
+    for b in warm {
+        policy.handle(b, &mut cache, catalog);
+    }
+    let mut evictions = 0u64;
+    let mut processed = 0usize;
+    let start = Instant::now();
+    for chunk in churn.chunks(32) {
+        for b in chunk {
+            evictions += policy.handle(b, &mut cache, catalog).evicted_files.len() as u64;
+        }
+        processed += chunk.len();
+        if start.elapsed().as_nanos() as u64 > budget_ns {
+            break;
+        }
+    }
+    RunResult {
+        evictions,
+        elapsed_ns: (start.elapsed().as_nanos() as u64).max(1),
+        processed,
+    }
+}
+
+struct Row {
+    n: usize,
+    policy: String,
+    indexed_eps: f64,
+    reference_eps: f64,
+    speedup: f64,
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, count) = values.fold((0.0, 0usize), |(s, c), v| (s + v.ln(), c + 1));
+    if count == 0 {
+        return 0.0;
+    }
+    (sum / count as f64).exp()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(if smoke {
+        "perf_eviction — CI smoke (regression gate)"
+    } else {
+        "perf_eviction — baseline victim-selection throughput"
+    });
+
+    let reduced = smoke || quick_mode();
+    let sizes: &[usize] = if reduced {
+        &[250, 1_000]
+    } else {
+        &[1_000, 10_000]
+    };
+    let iters = if reduced { 1 } else { 2 };
+    let budget_ns: u64 = if reduced {
+        1_500_000_000
+    } else {
+        4_000_000_000
+    };
+
+    let mut kinds: Vec<PolicyKind> = PolicyKind::ONLINE.to_vec();
+    kinds.push(PolicyKind::BeladyMin);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in sizes {
+        let catalog = FileCatalog::from_sizes(vec![1; 2 * n]);
+        let warm = warm_trace(n);
+        let churn = churn_trace(n, 0xE71C ^ ((n as u64) << 4));
+        for &kind in &kinds {
+            let Some(_) = kind.build_reference() else {
+                continue; // OptFileBundle is covered by perf_decision
+            };
+            // Best-of-`iters` on both sides; fresh policy and cache per run.
+            let mut best_idx: Option<RunResult> = None;
+            let mut best_ref: Option<RunResult> = None;
+            for _ in 0..iters {
+                let mut p = kind.build();
+                let r = run_churn(&mut p, &warm, &churn, &catalog, n as Bytes, budget_ns);
+                if best_idx
+                    .as_ref()
+                    .is_none_or(|b| r.elapsed_ns < b.elapsed_ns)
+                {
+                    best_idx = Some(r);
+                }
+                let mut p = kind.build_reference().expect("twin exists");
+                let r = run_churn(&mut p, &warm, &churn, &catalog, n as Bytes, budget_ns);
+                if best_ref
+                    .as_ref()
+                    .is_none_or(|b| r.elapsed_ns < b.elapsed_ns)
+                {
+                    best_ref = Some(r);
+                }
+            }
+            let (idx, rf) = (best_idx.unwrap(), best_ref.unwrap());
+            // Free differential check whenever both sides finished the
+            // whole churn: identical policies make identical evictions.
+            if idx.processed == churn.len() && rf.processed == churn.len() {
+                assert_eq!(
+                    idx.evictions, rf.evictions,
+                    "{kind:?} diverged from its reference twin at n={n}"
+                );
+            }
+            let indexed_eps = idx.evictions as f64 * 1e9 / idx.elapsed_ns as f64;
+            let reference_eps = rf.evictions as f64 * 1e9 / rf.elapsed_ns as f64;
+            rows.push(Row {
+                n,
+                policy: kind.build().name().to_string(),
+                indexed_eps,
+                reference_eps,
+                speedup: indexed_eps / reference_eps,
+            });
+        }
+    }
+
+    let mut table = Table::new(["n", "policy", "indexed ev/s", "reference ev/s", "speedup"]);
+    for r in &rows {
+        table.add_row([
+            r.n.to_string(),
+            r.policy.clone(),
+            format!("{:.0}", r.indexed_eps),
+            format!("{:.0}", r.reference_eps),
+            format!("{:.1}x", r.speedup),
+        ]);
+    }
+    print!("{}", table.to_ascii());
+
+    let largest = *sizes.last().expect("non-empty size sweep");
+    let headline_eps = geomean(
+        rows.iter()
+            .filter(|r| r.n == largest)
+            .map(|r| r.indexed_eps),
+    );
+    let headline_speedup = geomean(rows.iter().filter(|r| r.n == largest).map(|r| r.speedup));
+    println!(
+        "\nheadline (n={largest}): geomean indexed {headline_eps:.0} evictions/s \
+         — geomean speedup vs reference {headline_speedup:.1}x"
+    );
+
+    if smoke {
+        // Gate 1: machine-independent indexed-vs-reference ratio.
+        assert!(
+            headline_speedup >= 2.0,
+            "REGRESSION: indexed victim selection only {headline_speedup:.2}x the \
+             reference scan at n={largest} (acceptance floor: 2x)"
+        );
+        // Gate 2: >2x throughput regression against the committed baseline.
+        if let Ok(json) = std::fs::read_to_string("BENCH_core.json") {
+            if let Some(committed) = extract_number(&json, "\"headline_evictions_per_sec\":") {
+                assert!(
+                    headline_eps >= committed / 2.0,
+                    "REGRESSION: measured {headline_eps:.0} evictions/s is more than 2x \
+                     below the committed baseline {committed:.0}"
+                );
+                println!(
+                    "smoke: headline {headline_eps:.0} ev/s vs committed {committed:.0} ev/s \
+                     — within 2x"
+                );
+            }
+        }
+        println!("smoke: OK (geomean speedup {headline_speedup:.1}x >= 2x)");
+        return;
+    }
+
+    let out = results_dir().join("perf_eviction.csv");
+    table.save_csv(&out).expect("write CSV");
+    println!("CSV written to {}", out.display());
+
+    // Merge our section into the shared summary (hand-rolled JSON; the
+    // vendored serde shim has no serializer).
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!(
+        "    \"headline_evictions_per_sec\": {headline_eps:.1},\n    \
+         \"headline_eviction_speedup\": {headline_speedup:.2},\n    \
+         \"largest_n\": {largest},\n    \"results\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "      {{\"n\": {}, \"policy\": \"{}\", \"indexed_eps\": {:.1}, \
+             \"reference_eps\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            r.n,
+            r.policy,
+            r.indexed_eps,
+            r.reference_eps,
+            r.speedup,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("    ]\n  }");
+    let old = std::fs::read_to_string("BENCH_core.json").unwrap_or_else(|_| "{\n}\n".to_string());
+    let merged = upsert_section(&old, "perf_eviction", &body);
+    std::fs::write("BENCH_core.json", &merged).expect("write BENCH_core.json");
+    println!("JSON summary merged into BENCH_core.json");
+}

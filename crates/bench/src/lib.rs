@@ -191,6 +191,78 @@ pub fn banner(title: &str) {
     println!("\n=== {title} ===\n");
 }
 
+/// Pulls the first number following `key` out of `json` — a deliberately
+/// naive parser for the handful of scalars the perf smoke gates read back
+/// from the hand-rolled `BENCH_core.json` (the vendored serde shim has no
+/// deserializer).
+pub fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let start = json.find(key)? + key.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Byte span of the top-level `"name": { … }` section in a hand-rolled
+/// `BENCH_core.json`: from the opening quote of the key to the section's
+/// matching closing brace (inclusive). Brace matching ignores strings —
+/// fine for our generated summaries, which never put braces in values.
+fn section_span(json: &str, name: &str) -> Option<(usize, usize)> {
+    let marker = format!("\"{name}\":");
+    let mstart = json.find(&marker)?;
+    let after = mstart + marker.len();
+    let open = after + json[after..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((mstart, open + i + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The `{ … }` object body of a top-level `"name": { … }` section of the
+/// hand-rolled `BENCH_core.json`, if present.
+pub fn extract_section(json: &str, name: &str) -> Option<String> {
+    let (mstart, end) = section_span(json, name)?;
+    let open = mstart + json[mstart..end].find('{')?;
+    Some(json[open..end].to_string())
+}
+
+/// Inserts or replaces the top-level `"name": { … }` section in the
+/// hand-rolled `BENCH_core.json` text, keeping every other key intact —
+/// this is how `perf_decision` and `perf_eviction` share one summary file
+/// without clobbering each other's headline numbers.
+pub fn upsert_section(json: &str, name: &str, body: &str) -> String {
+    let mut text = json.trim_end().to_string();
+    if let Some((mstart, send)) = section_span(&text, name) {
+        // Cut the old section together with its leading comma.
+        let mut cut = mstart;
+        while cut > 0 && (text.as_bytes()[cut - 1] as char).is_whitespace() {
+            cut -= 1;
+        }
+        if cut > 0 && text.as_bytes()[cut - 1] == b',' {
+            cut -= 1;
+        }
+        text.replace_range(cut..send, "");
+    }
+    let close = text.rfind('}').expect("BENCH summary is a JSON object");
+    let mut head = text[..close].trim_end().to_string();
+    if !head.ends_with('{') {
+        head.push(',');
+    }
+    head.push_str(&format!("\n  \"{name}\": {body}\n}}\n"));
+    head
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +278,43 @@ mod tests {
         assert_eq!(e.trace.requests.len(), 100);
         assert!(e.mean_request > 0.0);
         assert!(e.cache_for_requests(4.0) > e.cache_for_requests(2.0));
+    }
+
+    #[test]
+    fn bench_json_sections_round_trip() {
+        let base = "{\n  \"bench\": \"perf_decision\",\n  \"headline_decisions_per_sec\": 1307.5,\n  \"results\": [\n    {\"n\": 250}\n  ]\n}\n";
+        let body = "{\n    \"headline_evictions_per_sec\": 42.0,\n    \"results\": [\n      {\"policy\": \"LRU\"}\n    ]\n  }";
+        let merged = upsert_section(base, "perf_eviction", body);
+        assert_eq!(
+            extract_section(&merged, "perf_eviction").as_deref(),
+            Some(body)
+        );
+        assert_eq!(
+            extract_number(&merged, "\"headline_decisions_per_sec\":"),
+            Some(1307.5)
+        );
+        assert_eq!(
+            extract_number(&merged, "\"headline_evictions_per_sec\":"),
+            Some(42.0)
+        );
+        // Replacing is idempotent: no duplicate sections, other keys intact.
+        let body2 = "{\n    \"headline_evictions_per_sec\": 43.5\n  }";
+        let merged2 = upsert_section(&merged, "perf_eviction", body2);
+        assert_eq!(merged2.matches("perf_eviction").count(), 1);
+        assert_eq!(
+            extract_number(&merged2, "\"headline_evictions_per_sec\":"),
+            Some(43.5)
+        );
+        assert_eq!(
+            extract_number(&merged2, "\"headline_decisions_per_sec\":"),
+            Some(1307.5)
+        );
+        // Inserting into an empty object needs no comma.
+        let fresh = upsert_section("{\n}\n", "perf_eviction", body2);
+        assert_eq!(
+            extract_number(&fresh, "\"headline_evictions_per_sec\":"),
+            Some(43.5)
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::bundle::Bundle;
 use crate::catalog::FileCatalog;
 use crate::error::{FbcError, Result};
 use crate::types::{Bytes, FileId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// The set of files currently resident in the disk cache.
 #[derive(Debug, Clone)]
@@ -20,6 +20,9 @@ pub struct CacheState {
     used: Bytes,
     /// Resident files mapped to `(size, pin_count)`.
     files: HashMap<FileId, Resident>,
+    /// Files with `pins > 0`, kept sorted so policies can enumerate the
+    /// pinned set in O(pinned) instead of scanning every resident.
+    pinned: BTreeSet<FileId>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +38,7 @@ impl CacheState {
             capacity,
             used: 0,
             files: HashMap::new(),
+            pinned: BTreeSet::new(),
         }
     }
 
@@ -140,6 +144,9 @@ impl CacheState {
             None => Err(FbcError::NotResident(file)),
             Some(r) => {
                 r.pins += 1;
+                if r.pins == 1 {
+                    self.pinned.insert(file);
+                }
                 Ok(())
             }
         }
@@ -151,6 +158,9 @@ impl CacheState {
             None => Err(FbcError::NotResident(file)),
             Some(r) => {
                 r.pins = r.pins.saturating_sub(1);
+                if r.pins == 0 {
+                    self.pinned.remove(&file);
+                }
                 Ok(())
             }
         }
@@ -159,6 +169,17 @@ impl CacheState {
     /// Whether `file` is currently pinned.
     pub fn is_pinned(&self, file: FileId) -> bool {
         self.files.get(&file).is_some_and(|r| r.pins > 0)
+    }
+
+    /// Number of currently pinned files.
+    #[inline]
+    pub fn pinned_len(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// Iterates over the pinned files in ascending id order.
+    pub fn pinned_files(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.pinned.iter().copied()
     }
 
     /// Iterates over resident `(FileId, size)` pairs in unspecified order.
@@ -182,7 +203,12 @@ impl CacheState {
     /// Intended for tests and `debug_assert!`s in the simulators.
     pub fn check_invariants(&self) -> bool {
         let sum: Bytes = self.files.values().map(|r| r.size).sum();
-        sum == self.used && self.used <= self.capacity
+        let pins_tracked = self
+            .pinned
+            .iter()
+            .all(|f| self.files.get(f).is_some_and(|r| r.pins > 0))
+            && self.files.values().filter(|r| r.pins > 0).count() == self.pinned.len();
+        sum == self.used && self.used <= self.capacity && pins_tracked
     }
 }
 

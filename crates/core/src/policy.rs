@@ -55,7 +55,20 @@ pub trait CachePolicy {
     /// Offline hook: policies that need future knowledge (e.g. Belady MIN)
     /// receive the full trace before the run starts. Online policies ignore
     /// it.
-    fn prepare(&mut self, _trace: &[Bundle]) {}
+    ///
+    /// The default forwards to [`prepare_from`](CachePolicy::prepare_from);
+    /// policies wanting the offline hook should override `prepare_from`
+    /// (which both entry points funnel through) rather than this method.
+    fn prepare(&mut self, trace: &[Bundle]) {
+        self.prepare_from(&mut trace.iter());
+    }
+
+    /// Borrowing variant of [`prepare`](CachePolicy::prepare): receives the
+    /// trace as an iterator of borrowed bundles, so drivers holding requests
+    /// inside larger records (e.g. the grid engines' arrival lists) need not
+    /// materialise a cloned `Vec<Bundle>` for online policies that ignore
+    /// the hook. Default: no-op.
+    fn prepare_from(&mut self, _trace: &mut dyn Iterator<Item = &Bundle>) {}
 
     /// Clears internal state so the policy can be reused for another run.
     fn reset(&mut self);
@@ -77,6 +90,10 @@ impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
 
     fn prepare(&mut self, trace: &[Bundle]) {
         (**self).prepare(trace)
+    }
+
+    fn prepare_from(&mut self, trace: &mut dyn Iterator<Item = &Bundle>) {
+        (**self).prepare_from(trace)
     }
 
     fn reset(&mut self) {

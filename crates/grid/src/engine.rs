@@ -153,8 +153,7 @@ pub fn run_grid_with_faults(
     config: &GridConfig,
     plan: Option<&FaultPlan>,
 ) -> GridStats {
-    let bundles: Vec<_> = arrivals.iter().map(|a| a.bundle.clone()).collect();
-    policy.prepare(&bundles);
+    policy.prepare_from(&mut arrivals.iter().map(|a| &a.bundle));
 
     let mut events: EventQueue<Event> = EventQueue::new();
     for (i, a) in arrivals.iter().enumerate() {

@@ -121,9 +121,8 @@ pub fn run_multi_grid(
 ) -> MultiGridStats {
     assert!(config.nodes > 0, "need at least one SRM node");
     assert_eq!(policies.len(), config.nodes, "one policy per node required");
-    let bundles: Vec<_> = arrivals.iter().map(|a| a.bundle.clone()).collect();
     for p in policies.iter_mut() {
-        p.prepare(&bundles);
+        p.prepare_from(&mut arrivals.iter().map(|a| &a.bundle));
     }
 
     let mut events: EventQueue<Event> = EventQueue::new();

@@ -109,8 +109,7 @@ pub fn run_grid_replicated(
     arrivals: &[JobArrival],
     config: &ReplicaGridConfig,
 ) -> GridStats {
-    let bundles: Vec<_> = arrivals.iter().map(|a| a.bundle.clone()).collect();
-    policy.prepare(&bundles);
+    policy.prepare_from(&mut arrivals.iter().map(|a| &a.bundle));
 
     let mut events: EventQueue<Event> = EventQueue::new();
     for (i, a) in arrivals.iter().enumerate() {

@@ -7,10 +7,15 @@
 //! scheduling and identical to a sequential sweep.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
 
 /// Runs `f` over every config, in parallel on up to `threads` workers, and
 /// returns the outputs in input order.
+///
+/// Workers claim indices from a shared atomic counter and send each
+/// `(index, result)` pair over a channel, so completing a run never
+/// serializes behind a lock held by another worker; the coordinator
+/// reassembles input order after the scope joins.
 ///
 /// `threads = 0` (or 1) degenerates to a sequential sweep.
 pub fn parallel_sweep<T, R, F>(configs: &[T], threads: usize, f: F) -> Vec<R>
@@ -29,26 +34,36 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            let tx = tx.clone();
+            scope.spawn({
+                let next = &next;
+                let f = &f;
+                move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&configs[i]);
+                    // The receiver outlives the scope; a send only fails if
+                    // the coordinator is gone, which cannot happen here.
+                    let _ = tx.send((i, r));
                 }
-                let r = f(&configs[i]);
-                results.lock().expect("sweep worker panicked")[i] = Some(r);
             });
         }
     });
+    drop(tx);
 
-    results
-        .into_inner()
-        .expect("sweep worker panicked")
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx {
+        slots[i] = Some(r);
+    }
+    slots
         .into_iter()
-        .map(|r| r.expect("every slot filled"))
+        .map(|r| r.expect("every sweep slot filled"))
         .collect()
 }
 
