@@ -14,6 +14,7 @@ use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{CachePolicy, RequestOutcome};
+use fbc_obs::Obs;
 use std::collections::HashMap;
 
 /// Second-hit (more generally, N-th-hit) admission gate around any policy.
@@ -22,6 +23,9 @@ pub struct AdmissionGate<P> {
     inner: P,
     min_occurrences: u64,
     counts: HashMap<Bundle, u64>,
+    /// Observability sink for bypassed (streamed) requests; admitted
+    /// requests are recorded by the wrapped policy itself.
+    obs: Obs,
     name: String,
 }
 
@@ -36,6 +40,7 @@ impl<P: CachePolicy> AdmissionGate<P> {
             inner,
             min_occurrences,
             counts: HashMap::new(),
+            obs: Obs::disabled(),
             name,
         }
     }
@@ -107,8 +112,15 @@ impl<P: CachePolicy> CachePolicy for AdmissionGate<P> {
         if count >= self.min_occurrences {
             self.inner.handle(bundle, cache, catalog)
         } else {
-            self.bypass(bundle, cache, catalog)
+            let outcome = self.bypass(bundle, cache, catalog);
+            outcome.record_obs(&self.obs);
+            outcome
         }
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs.clone();
+        self.inner.attach_obs(obs);
     }
 
     fn reset(&mut self) {

@@ -22,6 +22,7 @@ use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::{Bytes, FileId};
+use fbc_obs::Obs;
 use std::collections::HashMap;
 
 use crate::util::OrderedList;
@@ -53,6 +54,8 @@ pub struct Arc {
     p: Bytes,
     /// Ghost capacity (matches the cache size; set lazily on first use).
     ghost_capacity: Bytes,
+    /// Observability sink (disabled unless a driver attaches one).
+    obs: Obs,
 }
 
 impl Arc {
@@ -133,6 +136,7 @@ impl CachePolicy for Arc {
             t1_bytes,
             p,
             ghost_capacity,
+            obs: _,
         } = self;
         let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
             // LRU of T1 if |T1| > p, else LRU of T2; fall through to the
@@ -182,11 +186,20 @@ impl CachePolicy for Arc {
                 self.touch(f, catalog.size(f), capacity);
             }
         }
+        outcome.record_obs(&self.obs);
         outcome
     }
 
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
     fn reset(&mut self) {
-        *self = Arc::default();
+        // Keep the attached observability sink across the state wipe.
+        *self = Arc {
+            obs: self.obs.clone(),
+            ..Arc::default()
+        };
     }
 }
 

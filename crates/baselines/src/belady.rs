@@ -17,6 +17,7 @@ use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::FileId;
+use fbc_obs::Obs;
 use std::cmp::Reverse;
 use std::collections::HashMap;
 
@@ -54,6 +55,8 @@ pub struct BeladyMin {
     prepared: bool,
     /// Resident files keyed by `Reverse(next use)`.
     index: LazyHeap<Reverse<u64>>,
+    /// Observability sink (disabled unless a driver attaches one).
+    obs: Obs,
 }
 
 impl BeladyMin {
@@ -137,7 +140,12 @@ impl CachePolicy for BeladyMin {
             }
         }
         self.now += 1;
+        outcome.record_obs(&self.obs);
         outcome
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     fn reset(&mut self) {

@@ -11,6 +11,7 @@ use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::FileId;
+use fbc_obs::Obs;
 use std::collections::HashMap;
 
 use crate::util::OrderedList;
@@ -22,6 +23,8 @@ pub struct Fifo {
     admitted_at: HashMap<FileId, u64>,
     /// Residents in admission order (front = oldest admission).
     order: OrderedList<()>,
+    /// Observability sink (disabled unless a driver attaches one).
+    obs: Obs,
 }
 
 impl Fifo {
@@ -71,7 +74,12 @@ impl CachePolicy for Fifo {
             self.admitted_at.insert(*f, self.clock);
             self.order.push_back(*f, ());
         }
+        outcome.record_obs(&self.obs);
         outcome
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     fn reset(&mut self) {

@@ -21,6 +21,7 @@ use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::FileId;
+use fbc_obs::Obs;
 use std::collections::HashMap;
 
 use crate::util::{LazyHeap, OrdF64};
@@ -57,6 +58,8 @@ pub struct Gdsf {
     /// are keyed with the current L, so the index must be re-keyed per
     /// eviction round until they are all serviced or evicted.
     force_resync: bool,
+    /// Observability sink (disabled unless a driver attaches one).
+    obs: Obs,
 }
 
 impl Gdsf {
@@ -157,7 +160,12 @@ impl CachePolicy for Gdsf {
                 }
             }
         }
+        outcome.record_obs(&self.obs);
         outcome
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     fn reset(&mut self) {

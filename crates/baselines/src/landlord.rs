@@ -24,6 +24,7 @@ use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::FileId;
+use fbc_obs::Obs;
 use rustc_hash::FxHashMap;
 
 /// How credits are assigned and rent is charged.
@@ -81,6 +82,9 @@ pub struct Landlord {
     /// without a rent round" fast path. Entries are dropped lazily when the
     /// file is refreshed, evicted, or no longer resident.
     broke: Vec<FileId>,
+    /// Observability sink (disabled unless a driver attaches one); counts
+    /// rent rounds, broke-list evictions and credit refreshes.
+    obs: Obs,
     name: String,
 }
 
@@ -118,6 +122,7 @@ impl Landlord {
             refresh_fraction,
             credits: FxHashMap::default(),
             broke: Vec::new(),
+            obs: Obs::disabled(),
             name,
         }
     }
@@ -148,6 +153,7 @@ impl CachePolicy for Landlord {
         let cost_model = self.cost_model;
         let credits = &mut self.credits;
         let broke = &mut self.broke;
+        let obs = self.obs.clone();
 
         // The eviction closure implements Algorithm 3 Step 3: repeatedly
         // find the minimum credit among evictable files not in F(r_new),
@@ -188,6 +194,7 @@ impl CachePolicy for Landlord {
                 }
                 broke.remove(i);
                 credits.remove(&f);
+                obs.incr("landlord.broke_evictions");
                 return Some(f);
             }
 
@@ -206,6 +213,7 @@ impl CachePolicy for Landlord {
             if candidates == 0 {
                 return None;
             }
+            obs.incr("landlord.rent_rounds");
 
             // Pass 2: charge every candidate; the victim is the lowest-id
             // file whose credit hits zero (a running id-minimum, so the map's
@@ -246,6 +254,7 @@ impl CachePolicy for Landlord {
                 let new_credit = if outcome.fetched_files.contains(&f) {
                     full
                 } else {
+                    self.obs.incr("landlord.credit_refreshes");
                     let current = self.credits.get(&f).copied().unwrap_or(0.0);
                     current + self.refresh_fraction * (full - current)
                 };
@@ -263,7 +272,12 @@ impl CachePolicy for Landlord {
             self.credits.remove(f);
             broke_remove(&mut self.broke, *f);
         }
+        outcome.record_obs(&self.obs);
         outcome
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     fn reset(&mut self) {

@@ -15,6 +15,7 @@ use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::FileId;
+use fbc_obs::Obs;
 use std::collections::HashMap;
 
 use crate::util::LazyHeap;
@@ -25,6 +26,8 @@ pub struct Lfu {
     counts: HashMap<FileId, u64>,
     /// Resident files keyed by current lifetime count.
     index: LazyHeap<u64>,
+    /// Observability sink (disabled unless a driver attaches one).
+    obs: Obs,
 }
 
 impl Lfu {
@@ -77,7 +80,12 @@ impl CachePolicy for Lfu {
         for &f in &outcome.evicted_files {
             self.index.remove(f);
         }
+        outcome.record_obs(&self.obs);
         outcome
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     fn reset(&mut self) {

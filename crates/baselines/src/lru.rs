@@ -15,6 +15,7 @@ use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::FileId;
+use fbc_obs::Obs;
 use std::collections::HashMap;
 
 use crate::util::OrderedList;
@@ -28,6 +29,8 @@ pub struct Lru {
     last_used: HashMap<FileId, u64>,
     /// Residents in eviction order (front = least recently used).
     order: OrderedList<()>,
+    /// Observability sink (disabled unless a driver attaches one).
+    obs: Obs,
 }
 
 impl Lru {
@@ -81,7 +84,12 @@ impl CachePolicy for Lru {
         for f in &outcome.evicted_files {
             self.last_used.remove(f);
         }
+        outcome.record_obs(&self.obs);
         outcome
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     fn reset(&mut self) {

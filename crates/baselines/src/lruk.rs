@@ -15,6 +15,7 @@ use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::FileId;
+use fbc_obs::Obs;
 use std::collections::{HashMap, VecDeque};
 
 use crate::util::LazyHeap;
@@ -29,6 +30,8 @@ pub struct LruK {
     refs: HashMap<FileId, VecDeque<u64>>,
     /// Resident files keyed by current backward K-distance.
     index: LazyHeap<u64>,
+    /// Observability sink (disabled unless a driver attaches one).
+    obs: Obs,
 }
 
 impl LruK {
@@ -40,6 +43,7 @@ impl LruK {
             clock: 0,
             refs: HashMap::new(),
             index: LazyHeap::new(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -111,7 +115,12 @@ impl CachePolicy for LruK {
         for &f in &outcome.evicted_files {
             self.index.remove(f);
         }
+        outcome.record_obs(&self.obs);
         outcome
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     fn reset(&mut self) {

@@ -12,6 +12,7 @@ use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::FileId;
+use fbc_obs::Obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,6 +28,8 @@ pub struct RandomEvict {
     /// Reusable exclusion scratch (in-flight bundle ∩ residents, plus
     /// pinned files), kept sorted ascending.
     excl: Vec<FileId>,
+    /// Observability sink (disabled unless a driver attaches one).
+    obs: Obs,
 }
 
 impl RandomEvict {
@@ -37,6 +40,7 @@ impl RandomEvict {
             rng: StdRng::seed_from_u64(seed),
             arena: SortedArena::new(),
             excl: Vec::new(),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -92,7 +96,12 @@ impl CachePolicy for RandomEvict {
         for &f in &outcome.fetched_files {
             self.arena.insert(f);
         }
+        outcome.record_obs(&self.obs);
         outcome
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     fn reset(&mut self) {

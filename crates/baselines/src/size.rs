@@ -11,6 +11,7 @@ use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::Bytes;
+use fbc_obs::Obs;
 use std::cmp::Reverse;
 
 use crate::util::LazyHeap;
@@ -20,6 +21,8 @@ use crate::util::LazyHeap;
 pub struct LargestFirst {
     /// Resident files keyed by descending size.
     index: LazyHeap<Reverse<Bytes>>,
+    /// Observability sink (disabled unless a driver attaches one).
+    obs: Obs,
 }
 
 impl LargestFirst {
@@ -53,7 +56,12 @@ impl CachePolicy for LargestFirst {
         for &f in &outcome.evicted_files {
             self.index.remove(f);
         }
+        outcome.record_obs(&self.obs);
         outcome
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     fn reset(&mut self) {

@@ -18,6 +18,7 @@ use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
 use fbc_core::types::{Bytes, FileId};
+use fbc_obs::Obs;
 use std::collections::HashMap;
 
 use crate::util::LazyHeap;
@@ -43,6 +44,8 @@ pub struct Slru {
     protected: LazyHeap<u64>,
     /// Running byte total of the protected segment.
     protected_bytes: Bytes,
+    /// Observability sink (disabled unless a driver attaches one).
+    obs: Obs,
 }
 
 impl Slru {
@@ -64,6 +67,7 @@ impl Slru {
             probation: LazyHeap::new(),
             protected: LazyHeap::new(),
             protected_bytes: 0,
+            obs: Obs::disabled(),
         }
     }
 
@@ -158,7 +162,12 @@ impl CachePolicy for Slru {
             }
             self.rebalance(cache);
         }
+        outcome.record_obs(&self.obs);
         outcome
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     fn reset(&mut self) {

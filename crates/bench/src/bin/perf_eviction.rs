@@ -34,6 +34,7 @@ use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::CachePolicy;
 use fbc_core::types::Bytes;
+use fbc_obs::Obs;
 use fbc_sim::report::Table;
 use std::time::Instant;
 
@@ -214,6 +215,46 @@ fn main() {
     print!("{}", table.to_ascii());
 
     let largest = *sizes.last().expect("non-empty size sweep");
+
+    // Observability overhead on the eviction path, measured on LRU (the
+    // cheapest per-request policy, so a per-call branch is most visible):
+    // the same churn plain, with a disabled sink attached, and enabled.
+    let obs_overheads = {
+        let catalog = FileCatalog::from_sizes(vec![1; 2 * largest]);
+        let warm = warm_trace(largest);
+        let churn = churn_trace(largest, 0xE71C ^ ((largest as u64) << 4));
+        let mode = |obs: Option<&Obs>| -> f64 {
+            let mut best = f64::MAX;
+            for rep in 0..=iters {
+                if let Some(o) = obs {
+                    o.clear();
+                }
+                let mut p = PolicyKind::Lru.build();
+                if let Some(o) = obs {
+                    p.attach_obs(o.clone());
+                }
+                let r = run_churn(&mut p, &warm, &churn, &catalog, largest as Bytes, budget_ns);
+                let ns_per_req = r.elapsed_ns as f64 / r.processed.max(1) as f64;
+                if rep > 0 {
+                    best = best.min(ns_per_req);
+                }
+            }
+            best
+        };
+        let plain_ns = mode(None);
+        let off = Obs::disabled();
+        let off_ns = mode(Some(&off));
+        let on = Obs::enabled();
+        let on_ns = mode(Some(&on));
+        println!(
+            "\nobs overhead (LRU, n={largest}): plain {plain_ns:.0} ns/req, attached-off \
+             {off_ns:.0} ns/req ({:.3}x), enabled {on_ns:.0} ns/req ({:.2}x)",
+            off_ns / plain_ns,
+            on_ns / plain_ns
+        );
+        (off_ns / plain_ns, on_ns / plain_ns)
+    };
+
     let headline_eps = geomean(
         rows.iter()
             .filter(|r| r.n == largest)
@@ -261,7 +302,10 @@ fn main() {
     body.push_str(&format!(
         "    \"headline_evictions_per_sec\": {headline_eps:.1},\n    \
          \"headline_eviction_speedup\": {headline_speedup:.2},\n    \
-         \"largest_n\": {largest},\n    \"results\": [\n"
+         \"obs_off_overhead\": {:.3},\n    \
+         \"obs_on_overhead\": {:.2},\n    \
+         \"largest_n\": {largest},\n    \"results\": [\n",
+        obs_overheads.0, obs_overheads.1
     ));
     for (i, r) in rows.iter().enumerate() {
         body.push_str(&format!(

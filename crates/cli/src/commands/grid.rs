@@ -2,9 +2,10 @@
 //! (SRM + MSS + WAN) and report response times and throughput.
 
 use crate::args::{ArgError, Args};
+use crate::obs::{emit, obs_from_args};
 use crate::policies::{policy_by_name, POLICY_NAMES};
 use fbc_grid::client::{schedule_arrivals, ArrivalProcess};
-use fbc_grid::engine::{run_grid_with_faults, GridConfig};
+use fbc_grid::engine::{run_grid_observed, GridConfig};
 use fbc_grid::faults::{FaultPlan, PRESET_NAMES};
 use fbc_grid::mss::MssConfig;
 use fbc_grid::network::LinkConfig;
@@ -35,6 +36,8 @@ Options:
                         clauses like 'drive=0,60,300;transient=0.01;seed=7'
   --max-retries N       fetch retries before a job fails [5]
   --fetch-timeout-secs S  abandon a fetch attempt after S seconds [none]
+  --obs                 print the observability counter table after the run
+  --obs-trace FILE      write the JSONL event trace to FILE (implies --obs)
 ";
 
 /// Runs the subcommand.
@@ -54,6 +57,8 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "faults",
         "max-retries",
         "fetch-timeout-secs",
+        "obs",
+        "obs-trace",
     ])?;
     let trace_path = args.require("trace")?;
     let cache = args.get_bytes_or("cache", 0)?;
@@ -111,12 +116,14 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     let trace =
         Trace::load(trace_path).map_err(|e| ArgError(format!("cannot read {trace_path}: {e}")))?;
     let arrivals = schedule_arrivals(&trace.requests, ArrivalProcess::Poisson { rate, seed });
-    let stats = run_grid_with_faults(
+    let obs = obs_from_args(args);
+    let stats = run_grid_observed(
         policy.as_mut(),
         &trace.catalog,
         &arrivals,
         &config,
         plan.as_ref(),
+        &obs,
     );
 
     println!("policy:            {}", policy.name());
@@ -135,6 +142,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     println!("p99 response:      {}", stats.percentile_response(0.99));
     println!("makespan:          {}", stats.makespan);
     println!("throughput:        {:.3} jobs/s", stats.throughput());
+    emit(&obs, args)?;
     Ok(())
 }
 
@@ -173,6 +181,44 @@ mod tests {
         )
         .unwrap();
         run(&args).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn grid_obs_trace_is_deterministic_under_faults() {
+        let path = std::env::temp_dir().join("fbc_cli_grid_obs_test.trace");
+        Trace::new(
+            FileCatalog::from_sizes(vec![1_000_000; 4]),
+            vec![
+                Bundle::from_raw([0, 1]),
+                Bundle::from_raw([2, 3]),
+                Bundle::from_raw([0, 1]),
+            ],
+        )
+        .save(&path)
+        .unwrap();
+        let out = std::env::temp_dir().join("fbc_cli_grid_obs_test.jsonl");
+        let out_s = out.to_str().unwrap().to_string();
+        let argv = [
+            "--trace",
+            path.to_str().unwrap(),
+            "--cache",
+            "4MiB",
+            "--mount-secs",
+            "0.5",
+            "--faults",
+            "transient=0.2;seed=9",
+            "--obs-trace",
+            &out_s,
+        ];
+        let args = Args::parse(argv.iter().map(|s| s.to_string())).unwrap();
+        run(&args).unwrap();
+        let first = std::fs::read_to_string(&out).unwrap();
+        assert!(first.contains("\"ev\":\"arrival\""));
+        assert!(first.contains("\"ev\":\"fetch\""));
+        run(&args).unwrap();
+        assert_eq!(first, std::fs::read_to_string(&out).unwrap());
+        std::fs::remove_file(&out).ok();
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,6 +1,7 @@
 //! `fbcache run` — replay a trace through one policy and print metrics.
 
 use crate::args::{ArgError, Args};
+use crate::obs::{emit, obs_from_args};
 use crate::policies::{policy_by_name, POLICY_NAMES};
 use fbc_sim::queue::{Discipline, QueueConfig};
 use fbc_sim::runner::RunConfig;
@@ -20,6 +21,8 @@ Options:
   --discipline D        fcfs | hrv | sjf (with --queue > 1) [hrv]
   --latency             time every replacement decision and report
                         p50/p99/mean decision latency
+  --obs                 print the observability counter table after the run
+  --obs-trace FILE      write the JSONL event trace to FILE (implies --obs)
 ";
 
 /// Parses a queue discipline name.
@@ -36,7 +39,16 @@ pub fn parse_discipline(s: &str) -> Result<Discipline, ArgError> {
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<(), ArgError> {
-    args.reject_unknown(&["trace", "cache", "policy", "queue", "discipline", "latency"])?;
+    args.reject_unknown(&[
+        "trace",
+        "cache",
+        "policy",
+        "queue",
+        "discipline",
+        "latency",
+        "obs",
+        "obs-trace",
+    ])?;
     let trace_path = args.require("trace")?;
     let cache = args.get_bytes_or("cache", 0)?;
     if cache == 0 {
@@ -58,8 +70,9 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         record_latency: args.has("latency"),
         ..RunConfig::new(cache)
     };
+    let obs = obs_from_args(args);
     let metrics = if queue_len > 1 {
-        fbc_sim::queue::run_queued(
+        fbc_sim::queue::run_queued_observed(
             policy.as_mut(),
             &trace,
             &run_cfg,
@@ -67,9 +80,10 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
                 queue_len,
                 discipline,
             },
+            &obs,
         )
     } else {
-        fbc_sim::runner::run_trace(policy.as_mut(), &trace, &run_cfg)
+        fbc_sim::runner::run_trace_observed(policy.as_mut(), &trace, &run_cfg, &obs)
     };
 
     println!("policy:              {}", policy.name());
@@ -105,6 +119,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             l.len()
         );
     }
+    emit(&obs, args)?;
     Ok(())
 }
 
@@ -174,6 +189,33 @@ mod tests {
         )
         .unwrap();
         run(&args).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn obs_trace_flag_writes_deterministic_jsonl() {
+        let path = write_test_trace();
+        let out = std::env::temp_dir().join("fbc_cli_run_obs_test.jsonl");
+        let out_s = out.to_str().unwrap().to_string();
+        let argv = [
+            "--trace",
+            path.to_str().unwrap(),
+            "--cache",
+            "60B",
+            "--policy",
+            "lru",
+            "--obs-trace",
+            &out_s,
+        ];
+        let args = Args::parse(argv.iter().map(|s| s.to_string())).unwrap();
+        run(&args).unwrap();
+        let first = std::fs::read_to_string(&out).unwrap();
+        assert!(first.lines().count() >= 3, "one event per job at least");
+        assert!(first.contains("\"ev\":\"job\""));
+        // Same invocation, byte-identical trace.
+        run(&args).unwrap();
+        assert_eq!(first, std::fs::read_to_string(&out).unwrap());
+        std::fs::remove_file(&out).ok();
         std::fs::remove_file(&path).ok();
     }
 

@@ -27,6 +27,7 @@ pub mod commands {
     pub mod run;
     pub mod scenario;
 }
+pub mod obs;
 pub mod policies;
 
 use args::{ArgError, Args};

@@ -1,0 +1,83 @@
+//! Shared `--obs` / `--obs-trace` plumbing for the observable
+//! subcommands (`run`, `grid`).
+//!
+//! Either flag enables an [`Obs`] sink for the run: `--obs` prints the
+//! deterministic counter table after the normal report, `--obs-trace
+//! FILE` additionally writes the JSONL event trace to `FILE`. With a
+//! fixed seed the table and the trace are byte-identical across runs —
+//! see the determinism contract in `fbc-obs`.
+
+use crate::args::{ArgError, Args};
+use fbc_obs::Obs;
+
+/// Builds the run's sink: enabled iff `--obs` or `--obs-trace` was given.
+pub fn obs_from_args(args: &Args) -> Obs {
+    if args.has("obs") || args.has("obs-trace") {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    }
+}
+
+/// Writes the trace file and prints the counter table as the flags ask.
+/// A disabled handle is a no-op, so callers invoke this unconditionally.
+pub fn emit(obs: &Obs, args: &Args) -> Result<(), ArgError> {
+    if !obs.is_enabled() {
+        return Ok(());
+    }
+    if let Some(path) = args.get("obs-trace") {
+        std::fs::write(path, obs.jsonl())
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        println!(
+            "trace:             {path} ({} events, {} dropped)",
+            obs.events_recorded(),
+            obs.events_dropped()
+        );
+    }
+    println!();
+    print!("{}", obs.render_table());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn no_flags_means_disabled() {
+        let obs = obs_from_args(&parse(&[]));
+        assert!(!obs.is_enabled());
+        emit(&obs, &parse(&[])).unwrap();
+    }
+
+    #[test]
+    fn either_flag_enables() {
+        assert!(obs_from_args(&parse(&["--obs"])).is_enabled());
+        assert!(obs_from_args(&parse(&["--obs-trace", "/tmp/x.jsonl"])).is_enabled());
+    }
+
+    #[test]
+    fn emit_writes_the_trace_file() {
+        let path = std::env::temp_dir().join("fbc_cli_obs_emit_test.jsonl");
+        let path_s = path.to_str().unwrap().to_string();
+        let args = parse(&["--obs-trace", &path_s]);
+        let obs = obs_from_args(&args);
+        obs.set_now(1);
+        obs.event("e", &[]);
+        emit(&obs, &args).unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(written, "{\"t\":1,\"ev\":\"e\"}\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unwritable_trace_path_is_a_clean_error() {
+        let args = parse(&["--obs-trace", "/nonexistent-dir/x.jsonl"]);
+        let obs = obs_from_args(&args);
+        assert!(emit(&obs, &args).is_err());
+    }
+}

@@ -27,6 +27,7 @@ use crate::instance::FbcInstance;
 use crate::policy::{CachePolicy, RequestOutcome};
 use crate::select::{opt_cache_select_with_scratch, GreedyVariant, SelectOptions, SelectScratch};
 use crate::types::{Bytes, FileId};
+use fbc_obs::{Field, Obs};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
@@ -140,6 +141,9 @@ pub struct OptFileBundle {
     /// Reusable decision-path buffers (pure optimisation; carries no state
     /// across decisions).
     scratch: DecisionScratch,
+    /// Observability sink (disabled unless a driver attaches one); records
+    /// per-phase spans, candidate/retained histograms and decision events.
+    obs: Obs,
     name: String,
 }
 
@@ -180,6 +184,7 @@ impl OptFileBundle {
             history: RequestHistory::with_value_fn(config.value_fn),
             index: SupportIndex::new(),
             scratch: DecisionScratch::default(),
+            obs: Obs::disabled(),
             name,
         }
     }
@@ -267,15 +272,18 @@ impl OptFileBundle {
             history,
             index,
             scratch,
+            obs,
             ..
         } = self;
         let candidates = candidates_of(config, history, index, cache, incoming);
+        obs.observe("ofb.candidates", candidates.len() as u64);
         if candidates.is_empty() {
             return (Vec::new(), Vec::new());
         }
 
         // Build a local FBC instance over the union of candidate files,
         // recycling the previous decision's buffers.
+        let build_span = obs.span("ofb.instance_build");
         let DecisionScratch {
             local_of,
             global_of,
@@ -321,7 +329,9 @@ impl OptFileBundle {
             Some(std::mem::take(degrees)),
         )
         .expect("locally built instance is structurally valid");
+        drop(build_span);
 
+        let select_span = obs.span("ofb.greedy_select");
         let selection = match config.enumeration_k {
             Some(k) => crate::enumerate::opt_cache_select_enumerated(&inst, k.min(2)),
             None => opt_cache_select_with_scratch(
@@ -333,6 +343,7 @@ impl OptFileBundle {
                 select,
             ),
         };
+        drop(select_span);
 
         let mut retained: Vec<FileId> = selection
             .files
@@ -357,6 +368,7 @@ impl OptFileBundle {
         *degrees = reclaimed_degrees;
         file_bufs.extend(reclaimed_requests.into_iter().map(|r| r.into_files()));
 
+        obs.observe("ofb.retained_files", retained.len() as u64);
         (retained, prefetch)
     }
 }
@@ -425,12 +437,14 @@ impl CachePolicy for OptFileBundle {
         if requested_bytes > cache.capacity() {
             outcome.serviced = false;
             self.record(bundle);
+            outcome.record_obs(&self.obs);
             return outcome;
         }
 
         if cache.supports(bundle) {
             outcome.hit = true;
             self.record(bundle);
+            outcome.record_obs(&self.obs);
             return outcome;
         }
 
@@ -449,6 +463,8 @@ impl CachePolicy for OptFileBundle {
             let (retained, prefetch) =
                 self.decide_retained(cache, catalog, bundle, select_capacity);
             let prefetch_bytes: Bytes = prefetch.iter().map(|&f| catalog.size(f)).sum();
+            let retained_files = retained.len() as u64;
+            let planned_prefetch = prefetch.len() as u64;
 
             // Evict residents that are neither part of the incoming bundle
             // nor retained by the selection — but only *as many as needed*
@@ -457,6 +473,7 @@ impl CachePolicy for OptFileBundle {
             // cost nothing and may still produce hits. Least useful first:
             // ascending file degree, then largest size (frees space
             // fastest), then id for determinism.
+            let evict_span = self.obs.span("ofb.evict");
             let target = missing_bytes + prefetch_bytes;
             let mut victims: Vec<(FileId, Bytes)> = cache
                 .iter()
@@ -497,11 +514,13 @@ impl CachePolicy for OptFileBundle {
                     }
                 }
             }
+            drop(evict_span);
 
             if cache.free() < missing_bytes {
                 // Only possible when pinned files block the space.
                 outcome.serviced = false;
                 self.record(bundle);
+                outcome.record_obs(&self.obs);
                 return outcome;
             }
 
@@ -525,6 +544,19 @@ impl CachePolicy for OptFileBundle {
                     outcome.fetched_files.push(f);
                 }
             }
+
+            if self.obs.is_enabled() {
+                self.obs.incr("ofb.replacements");
+                self.obs.event(
+                    "decision",
+                    &[
+                        ("retained", Field::u(retained_files)),
+                        ("evicted", Field::u(outcome.evicted_files.len() as u64)),
+                        ("fetched", Field::u(outcome.fetched_files.len() as u64)),
+                        ("prefetch_planned", Field::u(planned_prefetch)),
+                    ],
+                );
+            }
         } else {
             // Plain cold fetch (Fig. 4a): space is available.
             for f in &missing {
@@ -537,7 +569,12 @@ impl CachePolicy for OptFileBundle {
 
         // Step 4: update L(R).
         self.record(bundle);
+        outcome.record_obs(&self.obs);
         outcome
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     fn reset(&mut self) {

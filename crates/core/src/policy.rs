@@ -11,6 +11,7 @@ use crate::bundle::Bundle;
 use crate::cache::CacheState;
 use crate::catalog::FileCatalog;
 use crate::types::{Bytes, FileId};
+use fbc_obs::{Field, Obs};
 
 /// Accounting record for one serviced request.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -36,6 +37,50 @@ pub struct RequestOutcome {
     /// bundle need not be resident after service; `fetched_bytes` still
     /// counts the mass-storage traffic.
     pub streamed: bool,
+}
+
+impl RequestOutcome {
+    /// Folds this outcome into a policy's observability registry: the
+    /// `policy.*` counters shared by every implementation, plus `admit`
+    /// and `evict` events when files actually moved. One branch and
+    /// nothing else when `obs` is disabled — policies call this
+    /// unconditionally at the end of `handle`.
+    pub fn record_obs(&self, obs: &Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.incr("policy.requests");
+        obs.add("policy.requested_bytes", self.requested_bytes);
+        if self.hit {
+            obs.incr("policy.hits");
+        }
+        if !self.serviced {
+            obs.incr("policy.unserviced");
+        }
+        if !self.fetched_files.is_empty() {
+            obs.add("policy.fetched_files", self.fetched_files.len() as u64);
+            obs.add("policy.fetched_bytes", self.fetched_bytes);
+            obs.event(
+                "admit",
+                &[
+                    ("files", Field::u(self.fetched_files.len() as u64)),
+                    ("bytes", Field::u(self.fetched_bytes)),
+                    ("streamed", Field::b(self.streamed)),
+                ],
+            );
+        }
+        if !self.evicted_files.is_empty() {
+            obs.add("policy.evicted_files", self.evicted_files.len() as u64);
+            obs.add("policy.evicted_bytes", self.evicted_bytes);
+            obs.event(
+                "evict",
+                &[
+                    ("files", Field::u(self.evicted_files.len() as u64)),
+                    ("bytes", Field::u(self.evicted_bytes)),
+                ],
+            );
+        }
+    }
 }
 
 /// A cache replacement policy driven by file-bundle requests.
@@ -70,6 +115,13 @@ pub trait CachePolicy {
     /// the hook. Default: no-op.
     fn prepare_from(&mut self, _trace: &mut dyn Iterator<Item = &Bundle>) {}
 
+    /// Observability hook: hands the policy a shared [`Obs`] handle to
+    /// record its admit/evict accounting (and any policy-specific
+    /// signals) into. The default keeps the policy unobserved; drivers
+    /// call this once before a run when tracing is on. Attaching a
+    /// disabled handle is equivalent to never attaching.
+    fn attach_obs(&mut self, _obs: Obs) {}
+
     /// Clears internal state so the policy can be reused for another run.
     fn reset(&mut self);
 }
@@ -94,6 +146,10 @@ impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
 
     fn prepare_from(&mut self, trace: &mut dyn Iterator<Item = &Bundle>) {
         (**self).prepare_from(trace)
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        (**self).attach_obs(obs)
     }
 
     fn reset(&mut self) {

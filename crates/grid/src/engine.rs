@@ -32,6 +32,7 @@ use crate::time::SimTime;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::CachePolicy;
+use fbc_obs::{Field, Obs};
 use std::collections::VecDeque;
 
 /// Full configuration of a single-SRM grid.
@@ -81,6 +82,7 @@ fn issue_fetch(
     events: &mut EventQueue<Event>,
     stats: &mut GridStats,
     jobs: &mut [JobState],
+    obs: &Obs,
 ) {
     let bytes = jobs[i].fetched_bytes;
     if bytes == 0 {
@@ -90,6 +92,17 @@ fn issue_fetch(
     }
     stats.fetch_attempts += 1;
     jobs[i].attempts += 1;
+    if obs.is_enabled() {
+        obs.incr("grid.fetch_attempts");
+        obs.event(
+            "fetch",
+            &[
+                ("job", Field::u(i as u64)),
+                ("bytes", Field::u(bytes)),
+                ("attempt", Field::u(jobs[i].attempts as u64)),
+            ],
+        );
+    }
     let read_done = mss.schedule_fetch_with(now, bytes, faults.as_ref());
     let arrive = read_done.and_then(|t| link.schedule_transfer_with(t, bytes, faults.as_ref()));
     let deadline = config.retry.fetch_timeout.map(|t| now + t);
@@ -101,6 +114,10 @@ fn issue_fetch(
                     // up on it. The drive/link stay occupied (no cancellation
                     // in the MSS protocol); the SRM just stops waiting.
                     stats.fetch_timeouts += 1;
+                    if obs.is_enabled() {
+                        obs.incr("grid.fetch_timeouts");
+                        obs.event("fetch_timeout", &[("job", Field::u(i as u64))]);
+                    }
                     events.schedule(deadline, Event::FetchFailed(i));
                     return;
                 }
@@ -110,6 +127,10 @@ fn issue_fetch(
                 .is_some_and(|inj| inj.draw_transient_failure());
             if transient {
                 stats.transient_fetch_errors += 1;
+                if obs.is_enabled() {
+                    obs.incr("grid.transient_errors");
+                    obs.event("transient_fault", &[("job", Field::u(i as u64))]);
+                }
                 events.schedule(done, Event::FetchFailed(i));
             } else {
                 events.schedule(done, Event::FetchDone(i));
@@ -121,6 +142,10 @@ fn issue_fetch(
             // would wait forever, so fail the attempt immediately — the
             // simulation must terminate either way.
             stats.fetch_timeouts += 1;
+            if obs.is_enabled() {
+                obs.incr("grid.fetch_timeouts");
+                obs.event("fetch_stranded", &[("job", Field::u(i as u64))]);
+            }
             events.schedule(deadline.unwrap_or(now), Event::FetchFailed(i));
         }
     }
@@ -153,6 +178,28 @@ pub fn run_grid_with_faults(
     config: &GridConfig,
     plan: Option<&FaultPlan>,
 ) -> GridStats {
+    run_grid_observed(policy, catalog, arrivals, config, plan, &Obs::disabled())
+}
+
+/// [`run_grid_with_faults`] with an observability sink.
+///
+/// With an enabled `obs` the engine attaches a clone to the policy,
+/// stamps the virtual clock with **simulated microseconds** at every
+/// event-loop step, and traces the whole fetch lifecycle — `fetch`,
+/// `fetch_timeout`, `transient_fault`, `fetch_stranded`, `retry` — plus
+/// job arrival/completion/failure/rejection, under `grid.*` counters.
+/// A disabled `obs` makes this identical to [`run_grid_with_faults`].
+pub fn run_grid_observed(
+    policy: &mut dyn CachePolicy,
+    catalog: &FileCatalog,
+    arrivals: &[JobArrival],
+    config: &GridConfig,
+    plan: Option<&FaultPlan>,
+    obs: &Obs,
+) -> GridStats {
+    if obs.is_enabled() {
+        policy.attach_obs(obs.clone());
+    }
     policy.prepare_from(&mut arrivals.iter().map(|a| &a.bundle));
 
     let mut events: EventQueue<Event> = EventQueue::new();
@@ -180,8 +227,13 @@ pub fn run_grid_with_faults(
     let mut last_completion = SimTime::ZERO;
 
     while let Some((now, event)) = events.pop() {
+        obs.set_now(now.micros());
         match event {
             Event::Arrival(i) => {
+                if obs.is_enabled() {
+                    obs.incr("grid.arrivals");
+                    obs.event("arrival", &[("job", Field::u(i as u64))]);
+                }
                 queue.push_back(i);
             }
             Event::FetchDone(i) => {
@@ -196,6 +248,17 @@ pub fn run_grid_with_faults(
                         .as_mut()
                         .map_or(1.0, |inj| inj.backoff_jitter(config.retry.jitter_frac));
                     let delay = config.retry.backoff(jobs[i].attempts, jitter);
+                    if obs.is_enabled() {
+                        obs.incr("grid.fetch_retries");
+                        obs.event(
+                            "retry",
+                            &[
+                                ("job", Field::u(i as u64)),
+                                ("attempt", Field::u(jobs[i].attempts as u64)),
+                                ("backoff_us", Field::u(delay.micros())),
+                            ],
+                        );
+                    }
                     events.schedule(now + delay, Event::RetryFetch(i));
                     continue; // slot stays held while backing off
                 }
@@ -203,6 +266,16 @@ pub fn run_grid_with_faults(
                 unpin_bundle(&mut cache, &arrivals[i].bundle);
                 in_service -= 1;
                 stats.failed += 1;
+                if obs.is_enabled() {
+                    obs.incr("grid.jobs_failed");
+                    obs.event(
+                        "job_failed",
+                        &[
+                            ("job", Field::u(i as u64)),
+                            ("attempts", Field::u(jobs[i].attempts as u64)),
+                        ],
+                    );
+                }
                 // Fall through: a service slot is now free.
             }
             Event::RetryFetch(i) => {
@@ -216,6 +289,7 @@ pub fn run_grid_with_faults(
                     &mut events,
                     &mut stats,
                     &mut jobs,
+                    obs,
                 );
                 continue;
             }
@@ -225,6 +299,17 @@ pub fn run_grid_with_faults(
                 stats.completed += 1;
                 stats.response_times.push(now.since(jobs[i].arrival));
                 last_completion = last_completion.max(now);
+                if obs.is_enabled() {
+                    obs.incr("grid.jobs_completed");
+                    obs.observe("grid.response_us", now.since(jobs[i].arrival).micros());
+                    obs.event(
+                        "job_done",
+                        &[
+                            ("job", Field::u(i as u64)),
+                            ("response_us", Field::u(now.since(jobs[i].arrival).micros())),
+                        ],
+                    );
+                }
             }
         }
 
@@ -240,6 +325,10 @@ pub fn run_grid_with_faults(
                     // Permanently infeasible: reject.
                     queue.pop_front();
                     stats.rejected += 1;
+                    if obs.is_enabled() {
+                        obs.incr("grid.jobs_rejected");
+                        obs.event("reject", &[("job", Field::u(i as u64))]);
+                    }
                     continue;
                 }
                 // Pinned files of in-service jobs block the space; retry
@@ -266,6 +355,7 @@ pub fn run_grid_with_faults(
                 &mut events,
                 &mut stats,
                 &mut jobs,
+                obs,
             );
         }
     }
@@ -437,6 +527,46 @@ mod tests {
         assert_eq!(stats.availability(), 1.0);
         // The outage pushes completion past the repair time.
         assert!(stats.makespan >= SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_traces_the_fetch_lifecycle() {
+        let catalog = FileCatalog::from_sizes(vec![1_000_000; 8]);
+        let jobs: Vec<Bundle> = (0..20).map(|i| b(&[i % 8, (i + 1) % 8])).collect();
+        let arrivals = schedule_arrivals(
+            &jobs,
+            ArrivalProcess::Poisson {
+                rate: 2.0,
+                seed: 42,
+            },
+        );
+        let mut cfg = quick_config(3_000_000);
+        cfg.retry.max_retries = 4;
+        let plan = fbc_grid_faultplan();
+        let mut p1 = OptFileBundle::new();
+        let plain = run_grid_with_faults(&mut p1, &catalog, &arrivals, &cfg, Some(&plan));
+
+        let obs = fbc_obs::Obs::enabled();
+        let mut p2 = OptFileBundle::new();
+        let observed = run_grid_observed(&mut p2, &catalog, &arrivals, &cfg, Some(&plan), &obs);
+        // Observation never perturbs the simulation.
+        assert_eq!(plain, observed);
+        // Counters mirror the stats the engine already aggregates.
+        assert_eq!(obs.counter("grid.arrivals"), 20);
+        assert_eq!(obs.counter("grid.jobs_completed"), plain.completed);
+        assert_eq!(obs.counter("grid.fetch_attempts"), plain.fetch_attempts);
+        assert_eq!(obs.counter("grid.fetch_retries"), plain.fetch_retries);
+        // The trace is stamped with simulated microseconds and replays
+        // byte-identically under the same seed.
+        let obs2 = fbc_obs::Obs::enabled();
+        let mut p3 = OptFileBundle::new();
+        run_grid_observed(&mut p3, &catalog, &arrivals, &cfg, Some(&plan), &obs2);
+        assert_eq!(obs.jsonl(), obs2.jsonl());
+        assert_eq!(obs.render_table(), obs2.render_table());
+    }
+
+    fn fbc_grid_faultplan() -> FaultPlan {
+        FaultPlan::parse("drive=0,2,10").unwrap()
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod stats;
 pub mod time;
 
 pub use client::{schedule_arrivals, ArrivalProcess, JobArrival};
-pub use engine::{run_grid, run_grid_with_faults, GridConfig};
+pub use engine::{run_grid, run_grid_observed, run_grid_with_faults, GridConfig};
 pub use faults::{DriveSelector, FaultInjector, FaultPlan, RateWindow, FOREVER};
 pub use mss::{MassStorage, MssConfig};
 pub use multi::{run_multi_grid, Dispatch, MultiGridConfig, MultiGridStats};

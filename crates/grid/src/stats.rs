@@ -45,14 +45,16 @@ impl GridStats {
     }
 
     /// The `p`-th percentile response time (`0.0 ..= 1.0`), nearest-rank.
+    ///
+    /// Uses the workspace-wide helper in [`fbc_obs::quantile`] — the same
+    /// semantics as `LatencyStats::quantile`. (This method used to
+    /// document nearest-rank but compute the linear index
+    /// `round(p·(n−1))`, disagreeing with the sim crate's percentiles on
+    /// e.g. even-length samples.)
     pub fn percentile_response(&self, p: f64) -> SimDuration {
-        if self.response_times.is_empty() {
-            return SimDuration::ZERO;
-        }
         let mut sorted = self.response_times.clone();
         sorted.sort_unstable();
-        let rank = ((p.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
-        sorted[rank]
+        fbc_obs::quantile::nearest_rank(&sorted, p).unwrap_or(SimDuration::ZERO)
     }
 
     /// Completed jobs per second of virtual time.
@@ -150,6 +152,34 @@ mod tests {
         assert_eq!(s.percentile_response(1.0), SimDuration::from_secs(3));
         assert_eq!(s.percentile_response(0.5), SimDuration::from_secs(2));
         assert!((s.throughput() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_length_percentiles_are_true_nearest_rank() {
+        // Regression for the linear-indexing bug: with 4 samples at
+        // p = 0.5 the nearest rank is ⌈0.5·4⌉ = 2, so the answer is the
+        // 2nd element; round(0.5·(4−1)) picked the 3rd.
+        let s = GridStats {
+            response_times: vec![
+                SimDuration::from_secs(4),
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(3),
+                SimDuration::from_secs(2),
+            ],
+            ..GridStats::default()
+        };
+        assert_eq!(s.percentile_response(0.5), SimDuration::from_secs(2));
+        assert_eq!(s.percentile_response(0.25), SimDuration::from_secs(1));
+        assert_eq!(s.percentile_response(0.75), SimDuration::from_secs(3));
+        assert_eq!(s.percentile_response(1.0), SimDuration::from_secs(4));
+        // p95 over 14 samples: nearest rank ⌈0.95·14⌉ = 14 → the max;
+        // the old linear index round(0.95·13) = 12 picked the 13th.
+        let times: Vec<SimDuration> = (1..=14).map(SimDuration::from_secs).collect();
+        let s = GridStats {
+            response_times: times,
+            ..GridStats::default()
+        };
+        assert_eq!(s.percentile_response(0.95), SimDuration::from_secs(14));
     }
 
     #[test]

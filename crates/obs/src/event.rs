@@ -1,0 +1,277 @@
+//! Bounded ring-buffer event log with JSONL export.
+//!
+//! Every event carries a timestamp in **virtual simulation time** (the
+//! unit is whatever the driver feeds [`crate::Obs::set_now`] — job index
+//! for the trace simulator, microseconds for the grid engine), a kind
+//! string, and a flat list of key/value fields. The log is a ring: once
+//! `capacity` events are held the oldest is dropped and counted, so
+//! instrumenting an arbitrarily long run has bounded memory.
+//!
+//! The JSONL rendering is hand-rolled (the workspace's vendored serde
+//! shim has no serializer — repo-wide idiom) and is a pure function of
+//! the recorded events: same events in, same bytes out.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// A single field value of an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float; non-finite values render as JSON `null`.
+    F64(f64),
+    /// String (JSON-escaped on export).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Field {
+    /// Shorthand for [`Field::U64`].
+    pub fn u(v: u64) -> Self {
+        Field::U64(v)
+    }
+
+    /// Shorthand for [`Field::I64`].
+    pub fn i(v: i64) -> Self {
+        Field::I64(v)
+    }
+
+    /// Shorthand for [`Field::F64`].
+    pub fn f(v: f64) -> Self {
+        Field::F64(v)
+    }
+
+    /// Shorthand for [`Field::Str`].
+    pub fn s(v: impl Into<String>) -> Self {
+        Field::Str(v.into())
+    }
+
+    /// Shorthand for [`Field::Bool`].
+    pub fn b(v: bool) -> Self {
+        Field::Bool(v)
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Field::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Field::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Field::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            Field::F64(_) => out.push_str("null"),
+            Field::Str(v) => write_json_string(out, v),
+            Field::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+        }
+    }
+}
+
+/// Escapes `s` as a JSON string (quotes included).
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual timestamp (see module docs for the unit).
+    pub t: u64,
+    /// Event kind, e.g. `"fetch_issued"`.
+    pub kind: String,
+    /// Key/value payload, in recording order.
+    pub fields: Vec<(String, Field)>,
+}
+
+impl Event {
+    /// Renders the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(48 + 16 * self.fields.len());
+        out.push_str("{\"t\":");
+        let _ = write!(out, "{}", self.t);
+        out.push_str(",\"ev\":");
+        write_json_string(&mut out, &self.kind);
+        for (k, v) in &self.fields {
+            out.push(',');
+            write_json_string(&mut out, k);
+            out.push(':');
+            v.write_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The bounded event ring.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    capacity: usize,
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// A ring holding at most `capacity` events (`0` keeps nothing and
+    /// counts every push as dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            buf: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, event: Event) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted (or refused) because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the held events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Renders the whole ring as JSON Lines (one event per line, oldest
+    /// first, each line terminated by `\n`).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.buf {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Clears the ring and the dropped count.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: &str) -> Event {
+        Event {
+            t,
+            kind: kind.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_ordered() {
+        let e = Event {
+            t: 7,
+            kind: "fetch".to_string(),
+            fields: vec![
+                ("job".to_string(), Field::u(3)),
+                ("ok".to_string(), Field::b(true)),
+                ("ratio".to_string(), Field::f(0.5)),
+                ("delta".to_string(), Field::i(-2)),
+                ("who".to_string(), Field::s("a\"b")),
+            ],
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"t\":7,\"ev\":\"fetch\",\"job\":3,\"ok\":true,\"ratio\":0.5,\
+             \"delta\":-2,\"who\":\"a\\\"b\"}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let e = Event {
+            t: 0,
+            kind: "x".to_string(),
+            fields: vec![("v".to_string(), Field::f(f64::NAN))],
+        };
+        assert!(e.to_json().contains("\"v\":null"));
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let mut out = String::new();
+        write_json_string(&mut out, "a\nb\u{1}");
+        assert_eq!(out, "\"a\\nb\\u0001\"");
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let mut log = EventLog::new(2);
+        log.push(ev(1, "a"));
+        log.push(ev(2, "b"));
+        log.push(ev(3, "c"));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        let kinds: Vec<&str> = log.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, ["b", "c"]);
+    }
+
+    #[test]
+    fn zero_capacity_keeps_nothing() {
+        let mut log = EventLog::new(0);
+        log.push(ev(1, "a"));
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.to_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let mut log = EventLog::new(8);
+        log.push(ev(1, "a"));
+        log.push(ev(2, "b"));
+        let text = log.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+        assert!(text.starts_with("{\"t\":1,\"ev\":\"a\"}"));
+    }
+}

@@ -1,0 +1,77 @@
+//! The one nearest-rank quantile implementation shared by every consumer
+//! in the workspace.
+//!
+//! Nearest-rank (the classical textbook definition): for `n` sorted
+//! samples and a quantile `q ∈ [0, 1]`, the estimate is the element at
+//! rank `⌈q·n⌉` (1-based), clamped to `[1, n]`. It always returns an
+//! actual sample (no interpolation), `q = 0` maps to the minimum and
+//! `q = 1` to the maximum.
+//!
+//! History: `fbc-sim`'s `LatencyStats::quantile` implemented this
+//! correctly while `fbc-grid`'s `GridStats::percentile_response`
+//! documented "nearest-rank" but computed the *linear* index
+//! `round(p·(n−1))` — for 4 samples at p = 0.5 the two disagreed (2nd vs
+//! 3rd element). Both now call into this module.
+
+/// Index (0-based) of the nearest-rank `q`-quantile among `n` sorted
+/// samples; `None` when `n == 0`. `q` is clamped to `[0, 1]`.
+pub fn nearest_rank_index(q: f64, n: usize) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    Some(rank - 1)
+}
+
+/// The nearest-rank `q`-quantile of an ascending-sorted slice; `None`
+/// when the slice is empty.
+pub fn nearest_rank<T: Copy>(sorted: &[T], q: f64) -> Option<T> {
+    nearest_rank_index(q, sorted.len()).map(|i| sorted[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_quantile() {
+        assert_eq!(nearest_rank_index(0.5, 0), None);
+        assert_eq!(nearest_rank::<u64>(&[], 0.5), None);
+    }
+
+    #[test]
+    fn extremes_map_to_min_and_max() {
+        let s = [10u64, 20, 30];
+        assert_eq!(nearest_rank(&s, 0.0), Some(10));
+        assert_eq!(nearest_rank(&s, 1.0), Some(30));
+        // Out-of-range q is clamped, not a panic.
+        assert_eq!(nearest_rank(&s, -1.0), Some(10));
+        assert_eq!(nearest_rank(&s, 2.0), Some(30));
+    }
+
+    #[test]
+    fn even_length_median_is_the_lower_middle() {
+        // The case where the old linear formula diverged: 4 samples at
+        // p = 0.5 must return the 2nd element (⌈0.5·4⌉ = 2), not the 3rd
+        // (round(0.5·3) = 2 → 0-based index 2).
+        let s = [1u64, 2, 3, 4];
+        assert_eq!(nearest_rank(&s, 0.5), Some(2));
+    }
+
+    #[test]
+    fn hundred_samples_match_percentile_intuition() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&s, 0.50), Some(50));
+        assert_eq!(nearest_rank(&s, 0.95), Some(95));
+        assert_eq!(nearest_rank(&s, 0.99), Some(99));
+        assert_eq!(nearest_rank(&s, 0.001), Some(1));
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile() {
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(nearest_rank(&[7u64], q), Some(7));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Named counters, gauges, and exact histograms.
+//!
+//! Keys are plain strings; all maps are `BTreeMap`s so every rendered
+//! snapshot is deterministically ordered. Histograms keep the raw sample
+//! vector — the workloads this crate instruments record at most one
+//! sample per simulated job, so exact nearest-rank quantiles are cheap
+//! and sketch-free (the same trade [`fbc-sim`'s `LatencyStats`] makes).
+
+use crate::quantile::nearest_rank;
+use std::collections::BTreeMap;
+
+/// A registry of named metrics. Plain data; thread safety is provided by
+/// the owning [`crate::Obs`] handle.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Vec<u64>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.push(value);
+        } else {
+            self.histograms.insert(name.to_string(), vec![value]);
+        }
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge (0 when never set).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Raw samples of a histogram (empty when never observed).
+    pub fn histogram(&self, name: &str) -> &[u64] {
+        self.histograms.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Nearest-rank `q`-quantile of a histogram; `None` when empty.
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> Option<u64> {
+        let mut sorted = self.histograms.get(name)?.clone();
+        sorted.sort_unstable();
+        nearest_rank(&sorted, q)
+    }
+
+    /// Whether nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Clears every metric.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+
+    /// Renders the registry as a fixed-width two-column table: counters,
+    /// then gauges, then histogram summaries (count / p50 / p95 / max).
+    /// A pure function of the recorded values, so two identical runs
+    /// render byte-identical tables.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+            return out;
+        }
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max("metric".len());
+        out.push_str(&format!("{:<width$}  {:>16}\n", "metric", "value"));
+        out.push_str(&format!(
+            "{:<width$}  {:>16}\n",
+            "-".repeat(width),
+            "-".repeat(16)
+        ));
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name:<width$}  {v:>16}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("{name:<width$}  {v:>16}\n"));
+        }
+        for (name, samples) in &self.histograms {
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let summary = format!(
+                "n={} p50={} p95={} max={}",
+                sorted.len(),
+                nearest_rank(&sorted, 0.50).unwrap_or(0),
+                nearest_rank(&sorted, 0.95).unwrap_or(0),
+                sorted.last().copied().unwrap_or(0),
+            );
+            out.push_str(&format!("{name:<width$}  {summary:>16}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = Registry::new();
+        assert_eq!(r.counter("x"), 0);
+        r.add("x", 2);
+        r.add("x", 3);
+        assert_eq!(r.counter("x"), 5);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = Registry::new();
+        r.set_gauge("g", 7);
+        r.set_gauge("g", -1);
+        assert_eq!(r.gauge("g"), -1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_nearest_rank() {
+        let mut r = Registry::new();
+        assert_eq!(r.histogram_quantile("h", 0.5), None);
+        for v in [4u64, 1, 3, 2] {
+            r.observe("h", v);
+        }
+        // Even length: p50 must be the 2nd element, matching the shared
+        // helper's semantics.
+        assert_eq!(r.histogram_quantile("h", 0.5), Some(2));
+        assert_eq!(r.histogram_quantile("h", 1.0), Some(4));
+        assert_eq!(r.histogram("h"), &[4, 1, 3, 2]);
+    }
+
+    #[test]
+    fn table_is_deterministic_and_sorted() {
+        let mut r = Registry::new();
+        r.add("zeta", 1);
+        r.add("alpha", 2);
+        r.set_gauge("mid", 3);
+        r.observe("hist", 10);
+        let a = r.render_table();
+        let b = r.render_table();
+        assert_eq!(a, b);
+        let alpha = a.find("alpha").unwrap();
+        let zeta = a.find("zeta").unwrap();
+        assert!(alpha < zeta, "counters must render in sorted order");
+        assert!(a.contains("n=1 p50=10"));
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut r = Registry::new();
+        r.add("c", 1);
+        r.observe("h", 1);
+        r.clear();
+        assert!(r.is_empty());
+        assert!(r.render_table().contains("no metrics"));
+    }
+}

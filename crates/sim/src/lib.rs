@@ -33,8 +33,8 @@ pub mod sweep;
 pub use compare::{compare_policies, PolicyComparison};
 pub use hybrid::{run_hybrid, HybridMetrics, ServiceModel};
 pub use metrics::{Metrics, SeriesPoint};
-pub use queue::{run_queued, Discipline, QueueConfig};
+pub use queue::{run_queued, run_queued_observed, Discipline, QueueConfig};
 pub use replicate::{replicate, Replicated};
 pub use report::Table;
-pub use runner::{run_jobs, run_trace, RunConfig};
+pub use runner::{run_jobs, run_jobs_observed, run_trace, run_trace_observed, RunConfig};
 pub use sweep::{default_threads, parallel_sweep};

@@ -57,15 +57,13 @@ impl LatencyStats {
     }
 
     /// Exact `q`-quantile (nearest-rank, `0 ≤ q ≤ 1`) in nanoseconds;
-    /// 0 when empty.
+    /// 0 when empty. Shares the workspace-wide nearest-rank helper
+    /// ([`fbc_obs::quantile`]) with `GridStats::percentile_response`, so
+    /// the two percentile implementations can never diverge again.
     pub fn quantile(&self, q: f64) -> u64 {
-        if self.samples.is_empty() {
-            return 0;
-        }
         let mut sorted = self.samples.clone();
         sorted.sort_unstable();
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
+        fbc_obs::quantile::nearest_rank(&sorted, q).unwrap_or(0)
     }
 
     /// Median latency in nanoseconds.
@@ -116,6 +114,27 @@ struct WindowState {
     fetched: u64,
 }
 
+impl WindowState {
+    /// Emits the accumulated partial window as a point at job-axis
+    /// position `at_jobs` and resets the accumulators; `None` when the
+    /// window holds nothing.
+    fn flush(&mut self, at_jobs: u64) -> Option<SeriesPoint> {
+        if self.jobs == 0 {
+            return None;
+        }
+        let point = SeriesPoint {
+            jobs: at_jobs,
+            byte_miss_ratio: ratio(self.fetched, self.requested),
+            request_hit_ratio: self.hits as f64 / self.jobs as f64,
+        };
+        self.jobs = 0;
+        self.hits = 0;
+        self.requested = 0;
+        self.fetched = 0;
+        Some(point)
+    }
+}
+
 impl Metrics {
     /// A fresh accumulator without series recording.
     pub fn new() -> Self {
@@ -156,16 +175,9 @@ impl Metrics {
             w.requested += outcome.requested_bytes;
             w.fetched += outcome.fetched_bytes;
             if w.jobs == w.size {
-                let point = SeriesPoint {
-                    jobs: self.jobs,
-                    byte_miss_ratio: ratio(w.fetched, w.requested),
-                    request_hit_ratio: w.hits as f64 / w.jobs as f64,
-                };
-                self.series.push(point);
-                w.jobs = 0;
-                w.hits = 0;
-                w.requested = 0;
-                w.fetched = 0;
+                if let Some(point) = w.flush(self.jobs) {
+                    self.series.push(point);
+                }
             }
         }
     }
@@ -175,12 +187,21 @@ impl Metrics {
         ratio(self.fetched_bytes, self.requested_bytes)
     }
 
-    /// Byte hit ratio: `1 − byte miss ratio`.
+    /// Byte hit ratio: `1 − byte miss ratio` — except on an empty run.
+    ///
+    /// Empty-run convention: when nothing was requested there were no
+    /// hits *and* no misses, so both ratios are 0. Taking the complement
+    /// of the zero-guarded miss ratio used to report a contradictory
+    /// "100% hit, 100% miss" for a zero-job run.
     pub fn byte_hit_ratio(&self) -> f64 {
-        1.0 - self.byte_miss_ratio()
+        if self.requested_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.byte_miss_ratio()
+        }
     }
 
-    /// Request-hit ratio: hits / jobs.
+    /// Request-hit ratio: hits / jobs (0 when no jobs ran).
     pub fn request_hit_ratio(&self) -> f64 {
         if self.jobs == 0 {
             0.0
@@ -189,9 +210,15 @@ impl Metrics {
         }
     }
 
-    /// Request miss ratio: `1 − request-hit ratio`.
+    /// Request miss ratio: `1 − request-hit ratio` — except on an empty
+    /// run, which reports 0 (see [`Metrics::byte_hit_ratio`] for the
+    /// convention).
     pub fn request_miss_ratio(&self) -> f64 {
-        1.0 - self.request_hit_ratio()
+        if self.jobs == 0 {
+            0.0
+        } else {
+            1.0 - self.request_hit_ratio()
+        }
     }
 
     /// Average volume of data moved into the cache per request (Fig. 8's
@@ -204,14 +231,27 @@ impl Metrics {
         }
     }
 
-    /// Merges another accumulator's totals into this one (series points are
-    /// appended; windows are not merged).
+    /// Merges another accumulator's totals into this one.
     ///
     /// Appended series points are re-based onto this accumulator's job axis:
     /// `other`'s points count jobs from *its* start, so each gets offset by
     /// the number of jobs already in `self`, keeping the merged series
     /// monotonically increasing in `jobs`.
+    ///
+    /// Partial-window semantics: every recorded job lands in exactly one
+    /// series point. A partially filled window — the receiver's in-progress
+    /// one and `other`'s unfinished tail — is *flushed* at merge time as a
+    /// truncated point (fewer jobs than the window size) at its owner's
+    /// job-axis position, and the receiver's window restarts empty after
+    /// the merge. The old behaviour silently dropped `other`'s tail and
+    /// left the receiver's in-progress window counting pre-merge jobs
+    /// against the post-merge axis, misattributing that window's ratios.
     pub fn merge(&mut self, other: &Metrics) {
+        // Flush our own in-progress window at the pre-merge job count,
+        // so its jobs aren't mixed with jobs recorded after the merge.
+        if let Some(point) = self.window.as_mut().and_then(|w| w.flush(self.jobs)) {
+            self.series.push(point);
+        }
         let base_jobs = self.jobs;
         self.jobs += other.jobs;
         self.serviced += other.serviced;
@@ -223,6 +263,15 @@ impl Metrics {
             jobs: base_jobs + p.jobs,
             ..*p
         }));
+        // Flush other's unfinished tail at its re-based position (other
+        // itself is borrowed immutably and stays untouched).
+        if let Some(point) = other
+            .window
+            .clone()
+            .and_then(|mut w| w.flush(base_jobs + other.jobs))
+        {
+            self.series.push(point);
+        }
         self.decision_latency.merge(&other.decision_latency);
     }
 }
@@ -268,6 +317,26 @@ mod tests {
         assert_eq!(m.byte_miss_ratio(), 0.0);
         assert_eq!(m.request_hit_ratio(), 0.0);
         assert_eq!(m.bytes_moved_per_request(), 0.0);
+    }
+
+    #[test]
+    fn empty_run_reports_neither_hits_nor_misses() {
+        // The empty-run convention: nothing requested means hit = 0 AND
+        // miss = 0. The complements used to report the contradictory
+        // byte_hit_ratio == 1.0 and request_miss_ratio == 1.0 at once.
+        let m = Metrics::new();
+        assert_eq!(m.byte_hit_ratio(), 0.0);
+        assert_eq!(m.byte_miss_ratio(), 0.0);
+        assert_eq!(m.request_hit_ratio(), 0.0);
+        assert_eq!(m.request_miss_ratio(), 0.0);
+        // A non-empty run still gets proper complements.
+        let mut m = Metrics::new();
+        m.record(&outcome(true, 100, 0));
+        assert_eq!(m.byte_hit_ratio(), 1.0);
+        assert_eq!(m.request_miss_ratio(), 0.0);
+        m.record(&outcome(false, 100, 100));
+        assert!((m.byte_hit_ratio() - 0.5).abs() < 1e-12);
+        assert!((m.request_miss_ratio() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -318,6 +387,50 @@ mod tests {
         // Ratios within each window are unchanged by the re-basing.
         assert!((a.series[2].byte_miss_ratio - 0.0).abs() < 1e-12);
         assert!((a.series[1].byte_miss_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_flushes_partial_windows_as_truncated_points() {
+        // Non-boundary-aligned merge: window of 2, but each side recorded
+        // 3 jobs, leaving a 1-job tail in its window.
+        let mut a = Metrics::with_series_window(2);
+        a.record(&outcome(false, 10, 10));
+        a.record(&outcome(false, 10, 10)); // full window at jobs=2
+        a.record(&outcome(true, 10, 0)); // partial tail (1 job, a hit)
+        let mut b = Metrics::with_series_window(2);
+        b.record(&outcome(false, 10, 10));
+        b.record(&outcome(true, 10, 0)); // full window at jobs=2
+        b.record(&outcome(false, 10, 5)); // partial tail (1 job, bmr 0.5)
+        a.merge(&b);
+
+        // Every job lands in exactly one point: a's full window (2), a's
+        // flushed tail (3), b's re-based full window (5), b's flushed
+        // tail (6).
+        let jobs: Vec<u64> = a.series.iter().map(|p| p.jobs).collect();
+        assert_eq!(jobs, vec![2, 3, 5, 6]);
+        assert!(jobs.windows(2).all(|w| w[0] < w[1]), "series not monotonic");
+        // The flushed tails carry their own ratios, not a neighbour's.
+        assert!((a.series[1].request_hit_ratio - 1.0).abs() < 1e-12);
+        assert!((a.series[3].byte_miss_ratio - 0.5).abs() < 1e-12);
+        // The receiver's window restarted empty: two more jobs complete
+        // a fresh window at the merged axis position 8.
+        a.record(&outcome(true, 10, 0));
+        a.record(&outcome(true, 10, 0));
+        assert_eq!(a.series.last().unwrap().jobs, 8);
+        assert!((a.series.last().unwrap().request_hit_ratio - 1.0).abs() < 1e-12);
+        // And `other` was left untouched by the merge.
+        assert_eq!(b.series.len(), 1);
+    }
+
+    #[test]
+    fn merge_without_windows_is_unchanged() {
+        let mut a = Metrics::new();
+        a.record(&outcome(true, 10, 0));
+        let mut b = Metrics::new();
+        b.record(&outcome(false, 10, 10));
+        a.merge(&b);
+        assert_eq!(a.jobs, 2);
+        assert!(a.series.is_empty());
     }
 
     #[test]

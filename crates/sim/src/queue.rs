@@ -18,6 +18,7 @@ use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::history::RequestHistory;
 use fbc_core::policy::CachePolicy;
+use fbc_obs::{Field, Obs};
 use fbc_workload::trace::Trace;
 
 use crate::runner::RunConfig;
@@ -77,7 +78,27 @@ pub fn run_queued(
     run: &RunConfig,
     queue: &QueueConfig,
 ) -> Metrics {
+    run_queued_observed(policy, trace, run, queue, &Obs::disabled())
+}
+
+/// [`run_queued`] with an observability sink.
+///
+/// Mirrors [`crate::runner::run_jobs_observed`]: with an enabled `obs`
+/// the policy gets a clone attached, the virtual clock is the *service*
+/// index (the order jobs leave the queue, not their arrival order), each
+/// serviced job appends a `job` event carrying its arrival position, and
+/// every batch refill bumps the `queue.batches` counter.
+pub fn run_queued_observed(
+    policy: &mut dyn CachePolicy,
+    trace: &Trace,
+    run: &RunConfig,
+    queue: &QueueConfig,
+    obs: &Obs,
+) -> Metrics {
     assert!(queue.queue_len >= 1, "queue length must be at least 1");
+    if obs.is_enabled() {
+        policy.attach_obs(obs.clone());
+    }
     policy.prepare(&trace.requests);
     let catalog = &trace.catalog;
     let mut cache = CacheState::new(run.cache_size);
@@ -88,8 +109,15 @@ pub fn run_queued(
     let mut ranking_history = RequestHistory::new();
     let mut processed: u64 = 0;
 
-    let mut pending: Vec<Bundle> = Vec::with_capacity(queue.queue_len);
-    let mut input = trace.requests.iter().cloned();
+    // Each pending entry carries its arrival position so the trace can
+    // show how the discipline reordered the batch.
+    let mut pending: Vec<(u64, Bundle)> = Vec::with_capacity(queue.queue_len);
+    let mut input = trace
+        .requests
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, b)| (i as u64, b));
     loop {
         // Fill the admission queue.
         while pending.len() < queue.queue_len {
@@ -101,6 +129,7 @@ pub fn run_queued(
         if pending.is_empty() {
             break;
         }
+        obs.incr("queue.batches");
         // Drain the batch in discipline order.
         while !pending.is_empty() {
             let idx = match queue.discipline {
@@ -108,13 +137,13 @@ pub fn run_queued(
                 Discipline::ShortestJobFirst => pending
                     .iter()
                     .enumerate()
-                    .min_by_key(|(_, b)| b.total_size(catalog))
+                    .min_by_key(|(_, (_, b))| b.total_size(catalog))
                     .map(|(i, _)| i)
                     .unwrap_or(0),
                 Discipline::HighestRelativeValue => {
                     let mut best = 0;
-                    let mut best_rv = ranking_history.relative_value(&pending[0], catalog);
-                    for (i, bundle) in pending.iter().enumerate().skip(1) {
+                    let mut best_rv = ranking_history.relative_value(&pending[0].1, catalog);
+                    for (i, (_, bundle)) in pending.iter().enumerate().skip(1) {
                         let rv = ranking_history.relative_value(bundle, catalog);
                         if rv > best_rv {
                             best = i;
@@ -124,7 +153,8 @@ pub fn run_queued(
                     best
                 }
             };
-            let bundle = pending.remove(idx);
+            let (arrived, bundle) = pending.remove(idx);
+            obs.set_now(processed);
             let outcome = if run.record_latency {
                 let start = std::time::Instant::now();
                 let outcome = policy.handle(&bundle, &mut cache, catalog);
@@ -137,6 +167,17 @@ pub fn run_queued(
                 policy.handle(&bundle, &mut cache, catalog)
             };
             debug_assert!(cache.check_invariants());
+            if obs.is_enabled() {
+                obs.event(
+                    "job",
+                    &[
+                        ("i", Field::u(processed)),
+                        ("arrived", Field::u(arrived)),
+                        ("hit", Field::b(outcome.hit)),
+                        ("serviced", Field::b(outcome.serviced)),
+                    ],
+                );
+            }
             if processed >= run.warmup_jobs {
                 metrics.record(&outcome);
             }
@@ -244,6 +285,43 @@ mod tests {
             &QueueConfig::hrv(2),
         );
         assert_eq!(m.jobs, t.len() as u64 - 4);
+    }
+
+    #[test]
+    fn observed_queued_run_matches_plain_and_records_reordering() {
+        let t = trace();
+        let run_cfg = RunConfig::new(3);
+        let q = QueueConfig::hrv(4);
+        let mut plain_p = OptFileBundle::new();
+        let plain = run_queued(&mut plain_p, &t, &run_cfg, &q);
+        let obs = Obs::enabled();
+        let mut obs_p = OptFileBundle::new();
+        let observed = run_queued_observed(&mut obs_p, &t, &run_cfg, &q, &obs);
+        assert_eq!(plain, observed);
+        // 8 jobs in batches of 4.
+        assert_eq!(obs.counter("queue.batches"), 2);
+        assert_eq!(obs.counter("policy.requests"), 8);
+        // HRV reorders: some job event must have `arrived` != service index.
+        let reordered = obs
+            .jsonl()
+            .lines()
+            .filter(|l| l.contains("\"ev\":\"job\""))
+            .any(|l| {
+                let i = l
+                    .split("\"i\":")
+                    .nth(1)
+                    .and_then(|s| s.split([',', '}']).next().unwrap_or("").parse::<u64>().ok());
+                let arrived = l
+                    .split("\"arrived\":")
+                    .nth(1)
+                    .and_then(|s| s.split([',', '}']).next().unwrap_or("").parse::<u64>().ok());
+                i.zip(arrived).is_some_and(|(a, b)| a != b)
+            });
+        assert!(
+            reordered,
+            "HRV should reorder at least one batch:\n{}",
+            obs.jsonl()
+        );
     }
 
     #[test]

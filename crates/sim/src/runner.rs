@@ -14,6 +14,7 @@ use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::policy::CachePolicy;
 use fbc_core::types::Bytes;
+use fbc_obs::{Field, Obs};
 use fbc_workload::trace::Trace;
 
 /// Configuration of a single simulation run.
@@ -73,6 +74,39 @@ pub fn run_jobs(
     jobs: &[Bundle],
     cfg: &RunConfig,
 ) -> Metrics {
+    run_jobs_observed(policy, catalog, jobs, cfg, &Obs::disabled())
+}
+
+/// [`run_trace`] with an observability sink.
+///
+/// See [`run_jobs_observed`] for what gets recorded.
+pub fn run_trace_observed(
+    policy: &mut dyn CachePolicy,
+    trace: &Trace,
+    cfg: &RunConfig,
+    obs: &Obs,
+) -> Metrics {
+    run_jobs_observed(policy, &trace.catalog, &trace.requests, cfg, obs)
+}
+
+/// [`run_jobs`] with an observability sink.
+///
+/// When `obs` is enabled the driver attaches a clone to the policy (so
+/// the policy's own `policy.*` counters and admit/evict events land in
+/// the same trace), stamps the virtual clock with the **job index**
+/// before each `handle` call, and appends one `job` event per job. A
+/// disabled `obs` leaves the policy untouched — the run is
+/// indistinguishable from [`run_jobs`].
+pub fn run_jobs_observed(
+    policy: &mut dyn CachePolicy,
+    catalog: &FileCatalog,
+    jobs: &[Bundle],
+    cfg: &RunConfig,
+    obs: &Obs,
+) -> Metrics {
+    if obs.is_enabled() {
+        policy.attach_obs(obs.clone());
+    }
     policy.prepare(jobs);
     let mut cache = CacheState::new(cfg.cache_size);
     let mut metrics = match cfg.series_window {
@@ -80,6 +114,7 @@ pub fn run_jobs(
         None => Metrics::new(),
     };
     for (i, bundle) in jobs.iter().enumerate() {
+        obs.set_now(i as u64);
         let outcome = if cfg.record_latency {
             let start = std::time::Instant::now();
             let outcome = policy.handle(bundle, &mut cache, catalog);
@@ -93,9 +128,24 @@ pub fn run_jobs(
         };
         debug_assert!(cache.check_invariants());
         debug_assert!(!outcome.serviced || outcome.streamed || cache.supports(bundle));
+        if obs.is_enabled() {
+            obs.event(
+                "job",
+                &[
+                    ("i", Field::u(i as u64)),
+                    ("hit", Field::b(outcome.hit)),
+                    ("serviced", Field::b(outcome.serviced)),
+                    ("used", Field::u(cache.used())),
+                ],
+            );
+        }
         if (i as u64) >= cfg.warmup_jobs {
             metrics.record(&outcome);
         }
+    }
+    if obs.is_enabled() {
+        obs.set_gauge("sim.cache_used", cache.used() as i64);
+        obs.set_gauge("sim.cache_capacity", cache.capacity() as i64);
     }
     metrics
 }
@@ -186,6 +236,29 @@ mod tests {
         let mut policy = OptFileBundle::new();
         let m = run_trace(&mut policy, &trace, &RunConfig::new(4));
         assert!(m.decision_latency.is_empty());
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_fills_the_trace() {
+        let trace = tiny_trace();
+        let mut plain_p = Lru::new();
+        let plain = run_trace(&mut plain_p, &trace, &RunConfig::new(4));
+
+        let obs = Obs::enabled();
+        let mut obs_p = Lru::new();
+        let observed = run_trace_observed(&mut obs_p, &trace, &RunConfig::new(4), &obs);
+        // Observation never perturbs the simulation.
+        assert_eq!(plain, observed);
+        // One driver `job` event per job, stamped with the job index.
+        assert_eq!(obs.counter("policy.requests"), 5);
+        assert!(obs.jsonl().lines().any(|l| l.starts_with("{\"t\":4,")));
+        assert_eq!(obs.gauge("sim.cache_capacity"), 4);
+        // Two same-seed observed runs produce byte-identical traces.
+        let obs2 = Obs::enabled();
+        let mut p2 = Lru::new();
+        run_trace_observed(&mut p2, &trace, &RunConfig::new(4), &obs2);
+        assert_eq!(obs.jsonl(), obs2.jsonl());
+        assert_eq!(obs.render_table(), obs2.render_table());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`workload`] | file/request pools, uniform & Zipf popularity, traces, HENP/climate/bitmap scenarios |
 //! | [`sim`] | trace-driven `cacheSim`, metrics, queued admission, parallel sweeps |
 //! | [`grid`] | discrete-event SRM + MSS + WAN substrate with response-time stats |
+//! | [`obs`] | deterministic observability: counters, spans, JSONL event traces, nearest-rank quantiles |
 //!
 //! ## Quick start
 //!
@@ -45,6 +46,7 @@
 pub use fbc_baselines as baselines;
 pub use fbc_core as core;
 pub use fbc_grid as grid;
+pub use fbc_obs as obs;
 pub use fbc_sim as sim;
 pub use fbc_workload as workload;
 
@@ -55,13 +57,14 @@ pub mod prelude {
     };
     pub use fbc_core::prelude::*;
     pub use fbc_grid::{
-        run_grid, run_grid_with_faults, run_scenario, run_scenario_with_faults, ArrivalProcess,
-        FaultPlan, GridConfig, GridReport, GridStats, LinkConfig, MssConfig, RetryPolicy,
-        ScenarioConfig, SimDuration, SimTime, SrmConfig,
+        run_grid, run_grid_observed, run_grid_with_faults, run_scenario, run_scenario_with_faults,
+        ArrivalProcess, FaultPlan, GridConfig, GridReport, GridStats, LinkConfig, MssConfig,
+        RetryPolicy, ScenarioConfig, SimDuration, SimTime, SrmConfig,
     };
+    pub use fbc_obs::{Field, Obs, ObsConfig};
     pub use fbc_sim::{
-        parallel_sweep, run_jobs, run_queued, run_trace, Discipline, Metrics, QueueConfig,
-        RunConfig, Table,
+        parallel_sweep, run_jobs, run_jobs_observed, run_queued, run_queued_observed, run_trace,
+        run_trace_observed, Discipline, Metrics, QueueConfig, RunConfig, Table,
     };
     pub use fbc_workload::{Popularity, PopularitySampler, Trace, Workload, WorkloadConfig};
 }
