@@ -58,6 +58,13 @@ pub struct HistoryEntry {
 }
 
 impl HistoryEntry {
+    /// The raw decayed-value accumulator state `(value_acc, value_tick)`,
+    /// for mirrors that must reproduce [`HistoryEntry::value_at`] bit for
+    /// bit from dense storage (see [`crate::resident`]).
+    pub(crate) fn value_state(&self) -> (f64, u64) {
+        (self.value_acc, self.value_tick)
+    }
+
     /// The request's value `v(r)` as of `now`, under `value_fn`.
     pub fn value_at(&self, now: u64, value_fn: ValueFn) -> f64 {
         let base = match value_fn {
@@ -105,43 +112,47 @@ impl RequestHistory {
     }
 
     /// Records one occurrence of `bundle` (the paper's Step 4: "update the
-    /// data structure `L(R)` with all relevant information about `r_new`").
-    pub fn record(&mut self, bundle: &Bundle) {
+    /// data structure `L(R)` with all relevant information about `r_new`"),
+    /// returning the updated entry so mirrors can sync from it in O(1).
+    pub fn record(&mut self, bundle: &Bundle) -> &HistoryEntry {
         self.tick += 1;
         let tick = self.tick;
         let value_fn = self.value_fn;
-        match self.entries.get_mut(bundle) {
-            Some(e) => {
-                // Bring the decayed accumulator current before adding 1.
-                e.value_acc = match value_fn {
-                    ValueFn::Count => (e.count + 1) as f64,
-                    ValueFn::Decay { half_life } => {
-                        let dt = tick.saturating_sub(e.value_tick) as f64;
-                        e.value_acc * 0.5_f64.powf(dt / half_life) + 1.0
-                    }
-                };
-                e.value_tick = tick;
-                e.count += 1;
-                e.last_seen = tick;
+        if !self.entries.contains_key(bundle) {
+            for f in bundle.iter() {
+                *self.degrees.entry(f).or_insert(0) += 1;
             }
-            None => {
-                for f in bundle.iter() {
-                    *self.degrees.entry(f).or_insert(0) += 1;
-                }
-                self.entries.insert(
-                    bundle.clone(),
-                    HistoryEntry {
-                        bundle: bundle.clone(),
-                        count: 1,
-                        value_acc: 1.0,
-                        value_tick: tick,
-                        last_seen: tick,
-                        first_seen: tick,
-                        priority: 1.0,
-                    },
-                );
-            }
+            // A zeroed seed entry: the shared update below brings it to the
+            // exact state a fresh entry had before (count 1, value_acc 1.0).
+            self.entries.insert(
+                bundle.clone(),
+                HistoryEntry {
+                    bundle: bundle.clone(),
+                    count: 0,
+                    value_acc: 0.0,
+                    value_tick: tick,
+                    last_seen: tick,
+                    first_seen: tick,
+                    priority: 1.0,
+                },
+            );
         }
+        let e = self
+            .entries
+            .get_mut(bundle)
+            .expect("present or just inserted");
+        // Bring the decayed accumulator current before adding 1.
+        e.value_acc = match value_fn {
+            ValueFn::Count => (e.count + 1) as f64,
+            ValueFn::Decay { half_life } => {
+                let dt = tick.saturating_sub(e.value_tick) as f64;
+                e.value_acc * 0.5_f64.powf(dt / half_life) + 1.0
+            }
+        };
+        e.value_tick = tick;
+        e.count += 1;
+        e.last_seen = tick;
+        e
     }
 
     /// Sets the priority multiplier of a known request.
@@ -241,10 +252,23 @@ impl RequestHistory {
 
     /// The `n` most recently seen distinct requests, most recent first
     /// (windowed-history truncation, paper §5.2).
+    ///
+    /// Partial-selects the top `n` before sorting, so the cost is
+    /// `O(|R| + n log n)` instead of `O(|R| log |R|)` — under
+    /// `HistoryMode::Window(n)` this runs on every decision, and `n` is
+    /// typically far smaller than the full history. `last_seen` ticks are
+    /// unique per distinct request, so selection + sort reproduces the full
+    /// sort's order exactly.
     pub fn most_recent(&self, n: usize) -> Vec<&HistoryEntry> {
+        if n == 0 {
+            return Vec::new();
+        }
         let mut v: Vec<&HistoryEntry> = self.entries.values().collect();
+        if n < v.len() {
+            v.select_nth_unstable_by_key(n - 1, |e| std::cmp::Reverse(e.last_seen));
+            v.truncate(n);
+        }
         v.sort_unstable_by_key(|e| std::cmp::Reverse(e.last_seen));
-        v.truncate(n);
         v
     }
 
@@ -531,6 +555,42 @@ mod tests {
             .map(|e| e.bundle.clone())
             .collect();
         assert_eq!(recent, vec![b(&[1]), b(&[3])]);
+    }
+
+    #[test]
+    fn most_recent_matches_full_sort_for_every_n() {
+        // Regression for the partial-selection rewrite: the returned order
+        // must be unchanged vs collecting and fully sorting the history.
+        let mut h = RequestHistory::new();
+        let mut state = 0x9e37_79b9_u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (state >> 33) as u32 % 60;
+            let bb = (state >> 17) as u32 % 60;
+            h.record(&b(&[a, bb]));
+        }
+        let naive: Vec<Bundle> = {
+            let mut v: Vec<&HistoryEntry> = h.entries().collect();
+            v.sort_unstable_by_key(|e| std::cmp::Reverse(e.last_seen));
+            v.into_iter().map(|e| e.bundle.clone()).collect()
+        };
+        for n in [
+            0,
+            1,
+            2,
+            7,
+            naive.len().saturating_sub(1),
+            naive.len(),
+            naive.len() + 10,
+        ] {
+            let got: Vec<Bundle> = h
+                .most_recent(n)
+                .into_iter()
+                .map(|e| e.bundle.clone())
+                .collect();
+            assert_eq!(got.len(), n.min(naive.len()), "n={n}");
+            assert_eq!(got[..], naive[..n.min(naive.len())], "n={n}");
+        }
     }
 
     /// The paper's worked example (§3, Fig. 3 / Table 1): six equally likely

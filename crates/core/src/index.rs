@@ -16,7 +16,7 @@
 
 use crate::bundle::Bundle;
 use crate::types::FileId;
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Incrementally maintained "which bundles are fully resident" index.
 #[derive(Debug, Clone, Default)]
@@ -33,7 +33,7 @@ pub struct SupportIndex {
     /// Per-bundle count of currently resident files.
     resident_count: Vec<u32>,
     /// Set of currently resident files (mirrors the cache).
-    resident: FxHashMap<FileId, ()>,
+    resident: FxHashSet<FileId>,
 }
 
 impl SupportIndex {
@@ -64,7 +64,7 @@ impl SupportIndex {
         let mut count = 0;
         for f in bundle.iter() {
             self.by_file.entry(f).or_default().push(id);
-            if self.resident.contains_key(&f) {
+            if self.resident.contains(&f) {
                 count += 1;
             }
         }
@@ -73,7 +73,7 @@ impl SupportIndex {
 
     /// Notifies the index that `file` became resident.
     pub fn on_insert(&mut self, file: FileId) {
-        if self.resident.insert(file, ()).is_none() {
+        if self.resident.insert(file) {
             if let Some(bundles) = self.by_file.get(&file) {
                 for &b in bundles {
                     self.resident_count[b as usize] += 1;
@@ -84,7 +84,7 @@ impl SupportIndex {
 
     /// Notifies the index that `file` was evicted.
     pub fn on_evict(&mut self, file: FileId) {
-        if self.resident.remove(&file).is_some() {
+        if self.resident.remove(&file) {
             if let Some(bundles) = self.by_file.get(&file) {
                 for &b in bundles {
                     self.resident_count[b as usize] -= 1;
@@ -95,19 +95,29 @@ impl SupportIndex {
 
     /// Whether the index believes `file` is resident.
     pub fn is_resident(&self, file: FileId) -> bool {
-        self.resident.contains_key(&file)
+        self.resident.contains(&file)
     }
 
-    /// Bundles that are fully supported by the resident set *plus* the
-    /// files of `extra` (the arriving request, whose space is reserved).
-    /// Results are in registration order.
-    pub fn supported_with(&self, extra: &Bundle) -> Vec<&Bundle> {
+    /// The bundle registered under dense id `id` (as returned by
+    /// [`SupportIndex::supported_with`]).
+    #[inline]
+    pub fn bundle(&self, id: u32) -> &Bundle {
+        &self.bundles[id as usize]
+    }
+
+    /// Dense ids of the bundles that are fully supported by the resident
+    /// set *plus* the files of `extra` (the arriving request, whose space
+    /// is reserved). Results are in registration order; resolve ids with
+    /// [`SupportIndex::bundle`]. Returning ids instead of `&Bundle`s lets
+    /// callers key follow-up work off a `u32` rather than re-hashing whole
+    /// bundles.
+    pub fn supported_with(&self, extra: &Bundle) -> Vec<u32> {
         let mut out = Vec::new();
         // Count additional support each bundle gains from `extra`'s
         // non-resident files.
         let mut bonus: FxHashMap<u32, u32> = FxHashMap::default();
         for f in extra.iter() {
-            if !self.resident.contains_key(&f) {
+            if !self.resident.contains(&f) {
                 if let Some(bundles) = self.by_file.get(&f) {
                     for &b in bundles {
                         *bonus.entry(b).or_insert(0) += 1;
@@ -118,7 +128,7 @@ impl SupportIndex {
         for (i, bundle) in self.bundles.iter().enumerate() {
             let have = self.resident_count[i] + bonus.get(&(i as u32)).copied().unwrap_or(0);
             if have as usize == bundle.len() {
-                out.push(bundle);
+                out.push(i as u32);
             }
         }
         out
@@ -127,6 +137,9 @@ impl SupportIndex {
     /// Bundles fully supported by the resident set alone.
     pub fn supported(&self) -> Vec<&Bundle> {
         self.supported_with(&Bundle::new([]))
+            .into_iter()
+            .map(|id| self.bundle(id))
+            .collect()
     }
 
     /// Exhaustive consistency check against a membership oracle (tests).
@@ -199,7 +212,7 @@ mod tests {
         // ...but with the arriving request {0} the first one is.
         let s = idx.supported_with(&b(&[0]));
         assert_eq!(s.len(), 1);
-        assert_eq!(*s[0], b(&[0, 1]));
+        assert_eq!(*idx.bundle(s[0]), b(&[0, 1]));
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod instance;
 pub mod knapsack;
 pub mod optfilebundle;
 pub mod policy;
+pub mod resident;
 pub mod select;
 pub mod types;
 

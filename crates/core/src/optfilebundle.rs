@@ -22,12 +22,15 @@ use crate::bundle::Bundle;
 use crate::cache::CacheState;
 use crate::catalog::FileCatalog;
 use crate::history::{RequestHistory, ValueFn};
+#[cfg(any(test, feature = "reference-kernels"))]
 use crate::index::SupportIndex;
 use crate::instance::FbcInstance;
 use crate::policy::{CachePolicy, RequestOutcome};
+use crate::resident::ResidentInstance;
 use crate::select::{opt_cache_select_with_scratch, GreedyVariant, SelectOptions, SelectScratch};
 use crate::types::{Bytes, FileId};
 use fbc_obs::{Field, Obs};
+#[cfg(any(test, feature = "reference-kernels"))]
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
@@ -113,9 +116,12 @@ pub struct DecisionExplanation {
 /// reclaimed through [`FbcInstance::into_parts`] after every selection.
 #[derive(Debug, Clone, Default)]
 struct DecisionScratch {
-    /// `FileId` → dense local index interning map. FxHash: small
-    /// fixed-width keys on the hot path, and iteration order is never
-    /// observed (the local index assignment follows candidate order).
+    /// `FileId` → dense local index interning map of the *rebuild*
+    /// (reference) path; the resident path interns through epoch-stamped
+    /// arrays instead. FxHash: small fixed-width keys on the hot path, and
+    /// iteration order is never observed (the local index assignment
+    /// follows candidate order).
+    #[cfg(any(test, feature = "reference-kernels"))]
     local_of: FxHashMap<FileId, u32>,
     /// Inverse of `local_of`: local index → global id.
     global_of: Vec<FileId>,
@@ -135,9 +141,20 @@ struct DecisionScratch {
 pub struct OptFileBundle {
     config: OfbConfig,
     history: RequestHistory,
-    /// Inverted index for cache-supported candidate lookup (kept in sync
-    /// with the cache only when the configuration calls for it).
+    /// The persistent decision state: dense mirrors of the history
+    /// (degrees, value accumulators, recency order) and of cache residency,
+    /// maintained by O(Δ) hooks so `decide_retained` never rebuilds,
+    /// re-interns or re-sorts (see [`crate::resident`]).
+    resident: ResidentInstance,
+    /// Inverted index for cache-supported candidate lookup — used only by
+    /// the verbatim rebuild (reference) decision path.
+    #[cfg(any(test, feature = "reference-kernels"))]
     index: SupportIndex,
+    /// When set, every decision runs the pre-resident rebuild path
+    /// verbatim; differential suites pin it bit-for-bit equal to the
+    /// resident path.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    reference: bool,
     /// Reusable decision-path buffers (pure optimisation; carries no state
     /// across decisions).
     scratch: DecisionScratch,
@@ -163,11 +180,7 @@ impl OptFileBundle {
     pub fn with_history(mut config: OfbConfig, history: RequestHistory) -> Self {
         config.value_fn = history.value_fn();
         let mut policy = Self::with_config(config);
-        if policy.indexing() {
-            for e in history.entries() {
-                policy.index.on_record(&e.bundle);
-            }
-        }
+        policy.resident.populate(&history);
         policy.history = history;
         policy
     }
@@ -182,23 +195,81 @@ impl OptFileBundle {
         Self {
             config,
             history: RequestHistory::with_value_fn(config.value_fn),
+            resident: ResidentInstance::new(),
+            #[cfg(any(test, feature = "reference-kernels"))]
             index: SupportIndex::new(),
+            #[cfg(any(test, feature = "reference-kernels"))]
+            reference: false,
             scratch: DecisionScratch::default(),
             obs: Obs::disabled(),
             name,
         }
     }
 
+    /// Creates the policy with the pre-resident *rebuild* decision path —
+    /// the exact per-decision instance reconstruction this crate shipped
+    /// before [`crate::resident`]. Identical outputs, bit for bit; exists
+    /// so differential tests and benchmarks can pin the resident path
+    /// against it.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn with_config_reference(config: OfbConfig) -> Self {
+        let mut policy = Self::with_config(config);
+        policy.reference = true;
+        policy
+    }
+
+    /// Reference-path counterpart of [`OptFileBundle::with_history`].
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn with_history_reference(mut config: OfbConfig, history: RequestHistory) -> Self {
+        config.value_fn = history.value_fn();
+        let mut policy = Self::with_config_reference(config);
+        if policy.indexing() {
+            for e in history.entries() {
+                policy.index.on_record(&e.bundle);
+            }
+        }
+        policy.history = history;
+        policy
+    }
+
+    #[cfg(any(test, feature = "reference-kernels"))]
     fn indexing(&self) -> bool {
         self.config.use_index && self.config.history_mode == HistoryMode::CacheSupported
     }
 
-    /// Records a request in the history and, when indexing, the index.
+    /// Records a request in the history and syncs the persistent decision
+    /// state (reference path: the support index) from the updated entry.
     fn record(&mut self, bundle: &Bundle) {
-        self.history.record(bundle);
-        if self.indexing() {
-            self.index.on_record(bundle);
+        #[cfg(any(test, feature = "reference-kernels"))]
+        if self.reference {
+            self.history.record(bundle);
+            if self.indexing() {
+                self.index.on_record(bundle);
+            }
+            return;
         }
+        let entry = self.history.record(bundle);
+        self.resident.on_record(entry);
+    }
+
+    /// Mirrors a cache insertion into the persistent decision state.
+    fn note_insert(&mut self, file: FileId) {
+        #[cfg(any(test, feature = "reference-kernels"))]
+        if self.reference {
+            self.index.on_insert(file);
+            return;
+        }
+        self.resident.on_insert(file);
+    }
+
+    /// Mirrors a cache eviction into the persistent decision state.
+    fn note_evict(&mut self, file: FileId) {
+        #[cfg(any(test, feature = "reference-kernels"))]
+        if self.reference {
+            self.index.on_evict(file);
+            return;
+        }
+        self.resident.on_evict(file);
     }
 
     /// The policy's configuration.
@@ -232,11 +303,7 @@ impl OptFileBundle {
     ) -> DecisionExplanation {
         let requested_bytes = incoming.total_size(catalog);
         let select_capacity = cache.capacity().saturating_sub(requested_bytes);
-        let candidates: Vec<Bundle> =
-            candidates_of(&self.config, &self.history, &self.index, cache, incoming)
-                .into_iter()
-                .map(|e| e.bundle.clone())
-                .collect();
+        let candidates: Vec<Bundle> = self.candidate_bundles(cache, incoming);
         // `retained` comes back sorted, so resident-membership checks are
         // binary searches rather than linear scans (O(r log r) overall,
         // where the per-file `contains` scan was O(r²)).
@@ -255,10 +322,150 @@ impl OptFileBundle {
         }
     }
 
+    /// The candidate bundles the next decision for `incoming` would rank,
+    /// in ranking input order (diagnostics; used by [`Self::explain`]).
+    fn candidate_bundles(&mut self, cache: &CacheState, incoming: &Bundle) -> Vec<Bundle> {
+        #[cfg(any(test, feature = "reference-kernels"))]
+        if self.reference {
+            return candidates_of(&self.config, &self.history, &self.index, cache, incoming)
+                .into_iter()
+                .map(|e| e.bundle.clone())
+                .collect();
+        }
+        let _ = cache;
+        self.resident.assemble_candidates(
+            self.config.history_mode,
+            self.config.max_candidates,
+            incoming,
+        );
+        self.resident
+            .candidates()
+            .iter()
+            .map(|&e| self.resident.bundle(e).clone())
+            .collect()
+    }
+
     /// Runs the replacement decision: returns the *sorted* list of files
     /// (global ids) to retain alongside `incoming`'s files, plus the
-    /// prefetch list. `&mut self` only for the reusable decision scratch.
+    /// prefetch list. `&mut self` only for the reusable decision scratch
+    /// and the per-decision epoch stamps of the resident state.
+    ///
+    /// Unlike the pre-resident rebuild path (kept verbatim in
+    /// [`Self::decide_retained_reference`]), this applies the pending delta
+    /// (candidate assembly off the maintained supported set / recency
+    /// list), overlays the incoming bundle's files at size 0 via epoch
+    /// stamps, and feeds the selection kernel — no per-decision
+    /// re-interning, re-hashing or re-sorting of the whole candidate set.
     fn decide_retained(
+        &mut self,
+        cache: &CacheState,
+        catalog: &FileCatalog,
+        incoming: &Bundle,
+        select_capacity: Bytes,
+    ) -> (Vec<FileId>, Vec<FileId>) {
+        #[cfg(any(test, feature = "reference-kernels"))]
+        if self.reference {
+            return self.decide_retained_reference(cache, catalog, incoming, select_capacity);
+        }
+        let Self {
+            config,
+            history,
+            resident,
+            scratch,
+            obs,
+            ..
+        } = self;
+        let delta_span = obs.span("ofb.delta_apply");
+        resident.assemble_candidates(config.history_mode, config.max_candidates, incoming);
+        drop(delta_span);
+        obs.observe("ofb.candidates", resident.candidates().len() as u64);
+        if resident.candidates().is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+
+        // Fill the dense instance from the persistent state, recycling the
+        // previous decision's buffers.
+        let build_span = obs.span("ofb.instance_build");
+        let DecisionScratch {
+            global_of,
+            sizes,
+            degrees,
+            file_bufs,
+            select,
+            ..
+        } = scratch;
+        global_of.clear();
+        sizes.clear();
+        degrees.clear();
+        let mut requests: Vec<(Vec<u32>, f64)> = Vec::with_capacity(resident.candidates().len());
+        let now = history.total_requests();
+        let value_fn = history.value_fn();
+        resident.fill_instance(
+            catalog,
+            now,
+            value_fn,
+            global_of,
+            sizes,
+            degrees,
+            file_bufs,
+            &mut requests,
+        );
+
+        let inst = FbcInstance::with_degrees(
+            select_capacity,
+            std::mem::take(sizes),
+            requests,
+            Some(std::mem::take(degrees)),
+        )
+        .expect("locally built instance is structurally valid");
+        drop(build_span);
+
+        let select_span = obs.span("ofb.greedy_select");
+        let selection = match config.enumeration_k {
+            Some(k) => crate::enumerate::opt_cache_select_enumerated(&inst, k.min(2)),
+            None => opt_cache_select_with_scratch(
+                &inst,
+                &SelectOptions {
+                    variant: config.variant,
+                    max_single_fallback: true,
+                },
+                select,
+            ),
+        };
+        drop(select_span);
+
+        let mut retained: Vec<FileId> = selection
+            .files
+            .iter()
+            .map(|&l| global_of[l as usize])
+            .collect();
+        retained.sort_unstable();
+        let prefetch: Vec<FileId> = if config.prefetch {
+            selection
+                .files
+                .iter()
+                .map(|&l| global_of[l as usize])
+                .filter(|&f| !cache.contains(f) && !incoming.contains(f))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Reclaim the instance's owned buffers for the next decision.
+        let (reclaimed_sizes, reclaimed_degrees, reclaimed_requests) = inst.into_parts();
+        *sizes = reclaimed_sizes;
+        *degrees = reclaimed_degrees;
+        file_bufs.extend(reclaimed_requests.into_iter().map(|r| r.into_files()));
+
+        obs.observe("ofb.retained_files", retained.len() as u64);
+        (retained, prefetch)
+    }
+
+    /// The pre-resident rebuild decision path, verbatim: re-collects the
+    /// candidates from the history map, re-sorts them by recency, and
+    /// re-interns every candidate file into a fresh local instance.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    fn decide_retained_reference(
         &mut self,
         cache: &CacheState,
         catalog: &FileCatalog,
@@ -374,8 +581,10 @@ impl OptFileBundle {
 }
 
 /// Candidate history entries for a replacement decision, per the configured
-/// truncation mode. A free function (rather than a method) so the decision
-/// path can borrow the history immutably while filling mutable scratch.
+/// truncation mode — the rebuild (reference) path's candidate gathering. A
+/// free function (rather than a method) so the decision path can borrow the
+/// history immutably while filling mutable scratch.
+#[cfg(any(test, feature = "reference-kernels"))]
 fn candidates_of<'h>(
     config: &OfbConfig,
     history: &'h RequestHistory,
@@ -390,7 +599,7 @@ fn candidates_of<'h>(
         HistoryMode::CacheSupported if indexing => index
             .supported_with(incoming)
             .into_iter()
-            .filter_map(|b| history.get(b))
+            .filter_map(|id| history.get(index.bundle(id)))
             .collect(),
         HistoryMode::CacheSupported => history
             .entries()
@@ -487,7 +696,7 @@ impl CachePolicy for OptFileBundle {
                     break;
                 }
                 if let Ok(size) = cache.evict(f) {
-                    self.index.on_evict(f);
+                    self.note_evict(f);
                     outcome.evicted_bytes += size;
                     outcome.evicted_files.push(f);
                 }
@@ -508,7 +717,7 @@ impl CachePolicy for OptFileBundle {
                         break;
                     }
                     if let Ok(size) = cache.evict(f) {
-                        self.index.on_evict(f);
+                        self.note_evict(f);
                         outcome.evicted_bytes += size;
                         outcome.evicted_files.push(f);
                     }
@@ -529,7 +738,7 @@ impl CachePolicy for OptFileBundle {
                 cache
                     .insert(*f, catalog)
                     .expect("eviction loop reserved space");
-                self.index.on_insert(*f);
+                self.note_insert(*f);
                 outcome.fetched_bytes += catalog.size(*f);
                 outcome.fetched_files.push(*f);
             }
@@ -539,7 +748,7 @@ impl CachePolicy for OptFileBundle {
             for f in prefetch {
                 if !cache.contains(f) && catalog.size(f) <= cache.free() {
                     cache.insert(f, catalog).expect("checked fit");
-                    self.index.on_insert(f);
+                    self.note_insert(f);
                     outcome.fetched_bytes += catalog.size(f);
                     outcome.fetched_files.push(f);
                 }
@@ -561,7 +770,7 @@ impl CachePolicy for OptFileBundle {
             // Plain cold fetch (Fig. 4a): space is available.
             for f in &missing {
                 cache.insert(*f, catalog).expect("free space was checked");
-                self.index.on_insert(*f);
+                self.note_insert(*f);
                 outcome.fetched_bytes += catalog.size(*f);
                 outcome.fetched_files.push(*f);
             }
@@ -579,7 +788,11 @@ impl CachePolicy for OptFileBundle {
 
     fn reset(&mut self) {
         self.history = RequestHistory::with_value_fn(self.config.value_fn);
-        self.index = SupportIndex::new();
+        self.resident = ResidentInstance::new();
+        #[cfg(any(test, feature = "reference-kernels"))]
+        {
+            self.index = SupportIndex::new();
+        }
     }
 }
 

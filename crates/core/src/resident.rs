@@ -1,0 +1,647 @@
+//! Persistent, incrementally maintained decision state for
+//! [`OptFileBundle`](crate::optfilebundle::OptFileBundle).
+//!
+//! Before this module, every replacement decision rebuilt its FBC instance
+//! from scratch: re-hash every candidate bundle through the history map,
+//! re-intern every file into a per-decision `FxHashMap`, re-read every
+//! degree, recompute every value and re-sort the whole candidate set by
+//! recency — even though between consecutive decisions the world changes by
+//! a tiny delta (one recorded bundle, a few inserted/evicted files).
+//!
+//! [`ResidentInstance`] keeps that state *alive across decisions* and
+//! updates it with O(Δ) hooks mirroring the
+//! [`SupportIndex`](crate::index::SupportIndex) lifecycle:
+//!
+//! * [`on_record`](ResidentInstance::on_record) — interns a newly recorded
+//!   bundle's files, appends its file list to an append-only CSR, bumps the
+//!   dense degree mirror, syncs the dense value accumulators from the
+//!   history entry, and moves the entry to the front of an intrusive
+//!   recency list;
+//! * [`on_insert`](ResidentInstance::on_insert) /
+//!   [`on_evict`](ResidentInstance::on_evict) — flip a file's residency flag
+//!   and walk its file→entry adjacency to maintain per-entry resident
+//!   counters, pushing/removing entries from the *fully supported* set as
+//!   their counter crosses the bundle size.
+//!
+//! A decision then *assembles* its candidate list without touching the
+//! history hash map at all: `Full`/`Window` walk the recency list (already
+//! recency-sorted — the sort the rebuild path paid per decision is free
+//! here), and `CacheSupported` takes the maintained supported set plus the
+//! entries completed by the incoming bundle's files. Filling the dense
+//! instance replays the rebuild path's first-touch interning permutation
+//! with epoch-stamped arrays instead of a hash map, so the produced
+//! `sizes`/`degrees`/`requests` vectors — and therefore every downstream
+//! float operation of the selection kernel — are **bit-for-bit identical**
+//! to the rebuild path's. The rebuild path itself survives verbatim behind
+//! the `reference-kernels` feature and is pinned equal by differential
+//! proptests (`crates/core/tests/resident_equivalence.rs`) and end-to-end
+//! byte-equality sweeps (`tests/resident_equivalence.rs`).
+
+use crate::bundle::Bundle;
+use crate::catalog::FileCatalog;
+use crate::history::{HistoryEntry, RequestHistory, ValueFn};
+use crate::optfilebundle::HistoryMode;
+use crate::types::{Bytes, FileId};
+use rustc_hash::FxHashMap;
+use std::collections::hash_map::Entry;
+
+/// Sentinel for "no entry" in the intrusive recency list and position maps.
+const NONE: u32 = u32::MAX;
+
+/// The persistent dense FBC instance living inside `OptFileBundle`.
+///
+/// Files and history entries are interned once, on first contact, into
+/// dense ids (`pid` for files, `eid` for entries) that stay stable for the
+/// lifetime of the policy; all per-decision work is array reads over those
+/// ids. See the module docs for the maintenance protocol.
+#[derive(Debug, Clone)]
+pub struct ResidentInstance {
+    // ---- files (indexed by pid) ----
+    /// Global `FileId` → dense pid. The only hash lookup left on the
+    /// maintenance path; the decision path itself is hash-free.
+    file_of: FxHashMap<FileId, u32>,
+    /// pid → global id (inverse of `file_of`).
+    file_ids: Vec<FileId>,
+    /// Dense mirror of the history's `d(f)` degrees.
+    degrees: Vec<u32>,
+    /// Whether the file is currently resident in the cache.
+    resident: Vec<bool>,
+    /// File → entries using it (the transpose of the entry CSR).
+    adj: Vec<Vec<u32>>,
+
+    // ---- entries (indexed by eid) ----
+    /// Canonical bundle → eid (hit only by `on_record`).
+    ids: FxHashMap<Bundle, u32>,
+    /// eid → its bundle (for mapping candidates back to bundles).
+    bundles: Vec<Bundle>,
+    /// Append-only CSR of entry files (pids, in canonical bundle order —
+    /// the same order the rebuild path iterated `bundle.iter()` in).
+    entry_files: Vec<u32>,
+    /// CSR offsets; `entry_offsets[eid]..entry_offsets[eid + 1]` slices
+    /// `entry_files`.
+    entry_offsets: Vec<u32>,
+    /// Number of the entry's files currently resident.
+    resident_count: Vec<u32>,
+    /// Dense mirrors of the history entry's value state, synced by
+    /// `on_record` so values can be recomputed bit-identically without
+    /// touching the history map.
+    count: Vec<u64>,
+    value_acc: Vec<f64>,
+    value_tick: Vec<u64>,
+    last_seen: Vec<u64>,
+    priority: Vec<f64>,
+    /// Intrusive doubly-linked recency list (most recent first). Since
+    /// `last_seen` ticks are unique, walking it front-to-back reproduces
+    /// the rebuild path's `sort_by_key(Reverse(last_seen))` exactly.
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    head: u32,
+    /// Entries whose files are all resident (`resident_count == len`), in
+    /// arbitrary order, with a position map for O(1) removal.
+    supported: Vec<u32>,
+    supported_pos: Vec<u32>,
+
+    // ---- per-decision epoch-stamped scratch ----
+    /// Decision epoch; a stamp equal to `epoch` means "set this decision".
+    epoch: u32,
+    /// pid → epoch at which `file_local` was assigned.
+    file_stamp: Vec<u32>,
+    /// pid → local index in the decision's dense instance.
+    file_local: Vec<u32>,
+    /// pid → epoch mark "belongs to the incoming bundle" (the size-0
+    /// overlay: incoming files are pre-reserved and cost nothing).
+    incoming_stamp: Vec<u32>,
+    /// eid → epoch at which `bonus` was reset.
+    bonus_stamp: Vec<u32>,
+    /// eid → support gained from the incoming bundle's non-resident files.
+    bonus: Vec<u32>,
+    /// Entries touched by the bonus pass this epoch.
+    touched: Vec<u32>,
+    /// The assembled candidate list (eids, most recent first).
+    candidates: Vec<u32>,
+}
+
+impl Default for ResidentInstance {
+    fn default() -> Self {
+        Self {
+            file_of: FxHashMap::default(),
+            file_ids: Vec::new(),
+            degrees: Vec::new(),
+            resident: Vec::new(),
+            adj: Vec::new(),
+            ids: FxHashMap::default(),
+            bundles: Vec::new(),
+            entry_files: Vec::new(),
+            entry_offsets: vec![0],
+            resident_count: Vec::new(),
+            count: Vec::new(),
+            value_acc: Vec::new(),
+            value_tick: Vec::new(),
+            last_seen: Vec::new(),
+            priority: Vec::new(),
+            prev: Vec::new(),
+            next: Vec::new(),
+            head: NONE,
+            supported: Vec::new(),
+            supported_pos: Vec::new(),
+            epoch: 0,
+            file_stamp: Vec::new(),
+            file_local: Vec::new(),
+            incoming_stamp: Vec::new(),
+            bonus_stamp: Vec::new(),
+            bonus: Vec::new(),
+            touched: Vec::new(),
+            candidates: Vec::new(),
+        }
+    }
+}
+
+impl ResidentInstance {
+    /// An empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of interned entries.
+    pub fn len(&self) -> usize {
+        self.bundles.len()
+    }
+
+    /// Whether no entry has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bundles.is_empty()
+    }
+
+    /// The bundle of entry `eid`.
+    #[inline]
+    pub fn bundle(&self, eid: u32) -> &Bundle {
+        &self.bundles[eid as usize]
+    }
+
+    /// The candidate list assembled by the last
+    /// [`assemble_candidates`](Self::assemble_candidates) call (eids, most
+    /// recent first).
+    #[inline]
+    pub fn candidates(&self) -> &[u32] {
+        &self.candidates
+    }
+
+    #[inline]
+    fn entry_len(&self, eid: usize) -> u32 {
+        self.entry_offsets[eid + 1] - self.entry_offsets[eid]
+    }
+
+    fn intern_file(&mut self, f: FileId) -> u32 {
+        match self.file_of.entry(f) {
+            Entry::Occupied(o) => *o.get(),
+            Entry::Vacant(v) => {
+                let pid = self.file_ids.len() as u32;
+                v.insert(pid);
+                self.file_ids.push(f);
+                self.degrees.push(0);
+                self.resident.push(false);
+                self.adj.push(Vec::new());
+                self.file_stamp.push(0);
+                self.file_local.push(0);
+                self.incoming_stamp.push(0);
+                pid
+            }
+        }
+    }
+
+    fn unlink(&mut self, eid: u32) {
+        let (p, n) = (self.prev[eid as usize], self.next[eid as usize]);
+        if p != NONE {
+            self.next[p as usize] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NONE {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    fn push_front(&mut self, eid: u32) {
+        self.prev[eid as usize] = NONE;
+        self.next[eid as usize] = self.head;
+        if self.head != NONE {
+            self.prev[self.head as usize] = eid;
+        }
+        self.head = eid;
+    }
+
+    /// Syncs one recorded bundle: O(b) for a first occurrence, O(1) for a
+    /// repeat (plus the recency-list relink). Call with the entry returned
+    /// by [`RequestHistory::record`].
+    pub fn on_record(&mut self, entry: &HistoryEntry) {
+        let bundle = &entry.bundle;
+        let eid = if let Some(&e) = self.ids.get(bundle) {
+            // Repeat occurrence: degrees and adjacency are unchanged.
+            self.unlink(e);
+            e
+        } else {
+            let e = self.bundles.len() as u32;
+            self.ids.insert(bundle.clone(), e);
+            self.bundles.push(bundle.clone());
+            let mut rcount = 0u32;
+            let mut blen = 0u32;
+            for f in bundle.iter() {
+                let pid = self.intern_file(f);
+                // A first occurrence increments d(f) of each of its files,
+                // exactly as the history does.
+                self.degrees[pid as usize] += 1;
+                self.adj[pid as usize].push(e);
+                self.entry_files.push(pid);
+                if self.resident[pid as usize] {
+                    rcount += 1;
+                }
+                blen += 1;
+            }
+            self.entry_offsets.push(self.entry_files.len() as u32);
+            self.resident_count.push(rcount);
+            self.count.push(0);
+            self.value_acc.push(0.0);
+            self.value_tick.push(0);
+            self.last_seen.push(0);
+            self.priority.push(1.0);
+            self.prev.push(NONE);
+            self.next.push(NONE);
+            self.bonus_stamp.push(0);
+            self.bonus.push(0);
+            if rcount == blen {
+                self.supported_pos.push(self.supported.len() as u32);
+                self.supported.push(e);
+            } else {
+                self.supported_pos.push(NONE);
+            }
+            e
+        };
+        let i = eid as usize;
+        let (acc, tick) = entry.value_state();
+        self.count[i] = entry.count;
+        self.value_acc[i] = acc;
+        self.value_tick[i] = tick;
+        self.last_seen[i] = entry.last_seen;
+        self.priority[i] = entry.priority;
+        self.push_front(eid);
+    }
+
+    /// Marks `file` resident, updating the resident counters (and the
+    /// supported set) of the entries using it. O(d(f)).
+    pub fn on_insert(&mut self, file: FileId) {
+        let pid = self.intern_file(file) as usize;
+        if self.resident[pid] {
+            return;
+        }
+        self.resident[pid] = true;
+        for i in 0..self.adj[pid].len() {
+            let eid = self.adj[pid][i];
+            let e = eid as usize;
+            self.resident_count[e] += 1;
+            if self.resident_count[e] == self.entry_offsets[e + 1] - self.entry_offsets[e] {
+                self.supported_pos[e] = self.supported.len() as u32;
+                self.supported.push(eid);
+            }
+        }
+    }
+
+    /// Marks `file` evicted, the inverse of [`on_insert`](Self::on_insert).
+    pub fn on_evict(&mut self, file: FileId) {
+        let Some(&pid) = self.file_of.get(&file) else {
+            return;
+        };
+        let pid = pid as usize;
+        if !self.resident[pid] {
+            return;
+        }
+        self.resident[pid] = false;
+        for i in 0..self.adj[pid].len() {
+            let eid = self.adj[pid][i];
+            let e = eid as usize;
+            if self.resident_count[e] == self.entry_offsets[e + 1] - self.entry_offsets[e] {
+                let pos = self.supported_pos[e] as usize;
+                self.supported.swap_remove(pos);
+                if pos < self.supported.len() {
+                    self.supported_pos[self.supported[pos] as usize] = pos as u32;
+                }
+                self.supported_pos[e] = NONE;
+            }
+            self.resident_count[e] -= 1;
+        }
+    }
+
+    /// Rebuilds the mirror from a warm-start history (entries are replayed
+    /// oldest-first so the recency list matches the history's `last_seen`
+    /// order). The cache is empty at warm start, so residency starts false.
+    pub fn populate(&mut self, history: &RequestHistory) {
+        debug_assert!(self.is_empty(), "populate() expects a fresh mirror");
+        let mut entries: Vec<&HistoryEntry> = history.entries().collect();
+        entries.sort_unstable_by_key(|e| e.last_seen);
+        for e in entries {
+            self.on_record(e);
+        }
+    }
+
+    /// Starts a new decision epoch, invalidating all stamps in O(1).
+    fn begin_epoch(&mut self) {
+        if self.epoch == u32::MAX {
+            // Stamp wrap (once per 2^32 decisions): reset all stamps so no
+            // stale stamp can collide with the restarted epoch counter.
+            self.file_stamp.iter_mut().for_each(|s| *s = 0);
+            self.incoming_stamp.iter_mut().for_each(|s| *s = 0);
+            self.bonus_stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Assembles the decision's candidate list (into
+    /// [`candidates`](Self::candidates)) for the given truncation mode —
+    /// the "apply the pending delta" step of the decision path.
+    ///
+    /// Reproduces the rebuild path's candidate *set and order* exactly:
+    /// most recent first, capped by `max_candidates` (and the window size).
+    pub fn assemble_candidates(
+        &mut self,
+        mode: HistoryMode,
+        max_candidates: Option<usize>,
+        incoming: &Bundle,
+    ) {
+        self.begin_epoch();
+        let epoch = self.epoch;
+        self.candidates.clear();
+        // Stamp the incoming bundle's interned files: the size-0 overlay of
+        // `fill_instance` and the bonus pass below both key off this.
+        for f in incoming.iter() {
+            if let Some(&pid) = self.file_of.get(&f) {
+                self.incoming_stamp[pid as usize] = epoch;
+            }
+        }
+        match mode {
+            HistoryMode::Full | HistoryMode::Window(_) => {
+                let limit = match mode {
+                    HistoryMode::Window(n) => n.min(max_candidates.unwrap_or(usize::MAX)),
+                    _ => max_candidates.unwrap_or(usize::MAX),
+                };
+                let mut cur = self.head;
+                while cur != NONE && self.candidates.len() < limit {
+                    self.candidates.push(cur);
+                    cur = self.next[cur as usize];
+                }
+            }
+            HistoryMode::CacheSupported => {
+                // Entries fully supported by the resident set alone...
+                self.candidates.extend_from_slice(&self.supported);
+                // ...plus entries completed by the incoming bundle's
+                // non-resident files (whose space is reserved).
+                let mut touched = std::mem::take(&mut self.touched);
+                touched.clear();
+                for f in incoming.iter() {
+                    let Some(&pid) = self.file_of.get(&f) else {
+                        continue;
+                    };
+                    if self.resident[pid as usize] {
+                        continue;
+                    }
+                    for i in 0..self.adj[pid as usize].len() {
+                        let eid = self.adj[pid as usize][i];
+                        let e = eid as usize;
+                        if self.bonus_stamp[e] != epoch {
+                            self.bonus_stamp[e] = epoch;
+                            self.bonus[e] = 0;
+                            touched.push(eid);
+                        }
+                        self.bonus[e] += 1;
+                    }
+                }
+                for &eid in &touched {
+                    let e = eid as usize;
+                    // `bonus > 0` implies `resident_count < len`, so these
+                    // entries are disjoint from the supported set above.
+                    if self.resident_count[e] + self.bonus[e] == self.entry_len(e) {
+                        self.candidates.push(eid);
+                    }
+                }
+                self.touched = touched;
+                // Recency order; `last_seen` ticks are unique, so this is a
+                // total order matching the rebuild path's sort.
+                let last_seen = &self.last_seen;
+                self.candidates
+                    .sort_unstable_by_key(|&e| std::cmp::Reverse(last_seen[e as usize]));
+                if let Some(cap) = max_candidates {
+                    self.candidates.truncate(cap);
+                }
+            }
+        }
+    }
+
+    /// The entry's value `v(r)` as of `now` — bit-identical to
+    /// [`HistoryEntry::value_at`] on the mirrored state.
+    #[inline]
+    fn value_of(&self, eid: usize, now: u64, value_fn: ValueFn) -> f64 {
+        let base = match value_fn {
+            ValueFn::Count => self.count[eid] as f64,
+            ValueFn::Decay { half_life } => {
+                let dt = now.saturating_sub(self.value_tick[eid]) as f64;
+                self.value_acc[eid] * 0.5_f64.powf(dt / half_life)
+            }
+        };
+        base * self.priority[eid]
+    }
+
+    /// Fills the decision's dense instance buffers from the assembled
+    /// candidates: local interning in first-touch order (candidates most
+    /// recent first, files in canonical bundle order — the exact
+    /// permutation the rebuild path produced, so every downstream float
+    /// operation sums in the same order), sizes with the incoming bundle's
+    /// files overlaid to 0, degrees from the dense mirror, and values
+    /// recomputed from the mirrored accumulators.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fill_instance(
+        &mut self,
+        catalog: &FileCatalog,
+        now: u64,
+        value_fn: ValueFn,
+        global_of: &mut Vec<FileId>,
+        sizes: &mut Vec<Bytes>,
+        degrees: &mut Vec<u32>,
+        file_bufs: &mut Vec<Vec<u32>>,
+        requests: &mut Vec<(Vec<u32>, f64)>,
+    ) {
+        let epoch = self.epoch;
+        for c in 0..self.candidates.len() {
+            let eid = self.candidates[c] as usize;
+            let mut files = file_bufs.pop().unwrap_or_default();
+            files.clear();
+            let (start, end) = (
+                self.entry_offsets[eid] as usize,
+                self.entry_offsets[eid + 1] as usize,
+            );
+            for k in start..end {
+                let pid = self.entry_files[k] as usize;
+                let local = if self.file_stamp[pid] == epoch {
+                    self.file_local[pid]
+                } else {
+                    let l = global_of.len() as u32;
+                    self.file_stamp[pid] = epoch;
+                    self.file_local[pid] = l;
+                    global_of.push(self.file_ids[pid]);
+                    sizes.push(if self.incoming_stamp[pid] == epoch {
+                        0
+                    } else {
+                        catalog.size(self.file_ids[pid])
+                    });
+                    degrees.push(self.degrees[pid]);
+                    l
+                };
+                files.push(local);
+            }
+            requests.push((files, self.value_of(eid, now, value_fn)));
+        }
+    }
+
+    /// Exhaustive consistency check against the history and a residency
+    /// oracle (tests only — O(|R| · b)).
+    pub fn check_consistency<F: Fn(FileId) -> bool>(
+        &self,
+        history: &RequestHistory,
+        resident: F,
+    ) -> bool {
+        if self.len() != history.len() {
+            return false;
+        }
+        self.bundles.iter().enumerate().all(|(e, b)| {
+            let Some(entry) = history.get(b) else {
+                return false;
+            };
+            let rcount = b.iter().filter(|&f| resident(f)).count() as u32;
+            let supported_ok = if rcount == b.len() as u32 {
+                self.supported_pos[e] != NONE
+                    && self.supported[self.supported_pos[e] as usize] == e as u32
+            } else {
+                self.supported_pos[e] == NONE
+            };
+            self.resident_count[e] == rcount
+                && supported_ok
+                && self.count[e] == entry.count
+                && self.last_seen[e] == entry.last_seen
+                && b.iter().all(|f| {
+                    self.file_of
+                        .get(&f)
+                        .is_some_and(|&pid| self.degrees[pid as usize] == history.degree(f))
+                })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(ids: &[u32]) -> Bundle {
+        Bundle::from_raw(ids.iter().copied())
+    }
+
+    /// Drives a mirror + history pair through a random interleaving and
+    /// checks full consistency after every step.
+    #[test]
+    fn mirror_stays_consistent_under_random_interleavings() {
+        let mut history = RequestHistory::new();
+        let mut mirror = ResidentInstance::new();
+        let mut resident = std::collections::HashSet::new();
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..500 {
+            match next() % 4 {
+                0 | 1 => {
+                    let k = (next() % 3 + 1) as usize;
+                    let files: Vec<u32> = (0..k).map(|_| (next() % 16) as u32).collect();
+                    let bundle = Bundle::from_raw(files);
+                    let entry = history.record(&bundle);
+                    mirror.on_record(entry);
+                }
+                2 => {
+                    let f = FileId((next() % 16) as u32);
+                    resident.insert(f);
+                    mirror.on_insert(f);
+                }
+                _ => {
+                    let f = FileId((next() % 16) as u32);
+                    resident.remove(&f);
+                    mirror.on_evict(f);
+                }
+            }
+            assert!(mirror.check_consistency(&history, |f| resident.contains(&f)));
+        }
+    }
+
+    #[test]
+    fn recency_list_matches_last_seen_order() {
+        let mut history = RequestHistory::new();
+        let mut mirror = ResidentInstance::new();
+        for ids in [&[1u32, 2][..], &[3], &[4, 5], &[1, 2], &[3]] {
+            let entry = history.record(&b(ids));
+            mirror.on_record(entry);
+        }
+        mirror.assemble_candidates(HistoryMode::Full, None, &b(&[]));
+        let got: Vec<Bundle> = mirror
+            .candidates()
+            .iter()
+            .map(|&e| mirror.bundle(e).clone())
+            .collect();
+        assert_eq!(got, vec![b(&[3]), b(&[1, 2]), b(&[4, 5])]);
+        // Window truncation takes a prefix of the same order.
+        mirror.assemble_candidates(HistoryMode::Window(2), None, &b(&[]));
+        assert_eq!(mirror.candidates().len(), 2);
+    }
+
+    #[test]
+    fn populate_replays_history_in_recency_order() {
+        let mut history = RequestHistory::new();
+        for ids in [&[1u32][..], &[2], &[3], &[1]] {
+            history.record(&b(ids));
+        }
+        let mut mirror = ResidentInstance::new();
+        mirror.populate(&history);
+        assert!(mirror.check_consistency(&history, |_| false));
+        mirror.assemble_candidates(HistoryMode::Full, None, &b(&[]));
+        let got: Vec<Bundle> = mirror
+            .candidates()
+            .iter()
+            .map(|&e| mirror.bundle(e).clone())
+            .collect();
+        assert_eq!(got, vec![b(&[1]), b(&[3]), b(&[2])]);
+    }
+
+    #[test]
+    fn cache_supported_uses_residency_plus_incoming_bonus() {
+        let mut history = RequestHistory::new();
+        let mut mirror = ResidentInstance::new();
+        for ids in [&[0u32, 1][..], &[1, 2], &[7]] {
+            let entry = history.record(&b(ids));
+            mirror.on_record(entry);
+        }
+        mirror.on_insert(FileId(1));
+        // {1} alone supports nothing.
+        mirror.assemble_candidates(HistoryMode::CacheSupported, None, &b(&[9]));
+        assert!(mirror.candidates().is_empty());
+        // Incoming {0} completes {0,1}.
+        mirror.assemble_candidates(HistoryMode::CacheSupported, None, &b(&[0]));
+        let got: Vec<Bundle> = mirror
+            .candidates()
+            .iter()
+            .map(|&e| mirror.bundle(e).clone())
+            .collect();
+        assert_eq!(got, vec![b(&[0, 1])]);
+        // Fully resident entries appear without bonus help.
+        mirror.on_insert(FileId(0));
+        mirror.on_insert(FileId(2));
+        mirror.assemble_candidates(HistoryMode::CacheSupported, None, &b(&[9]));
+        assert_eq!(mirror.candidates().len(), 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Differential property tests: the persistent resident decision path of
+//! `OptFileBundle` must be bit-for-bit equivalent to the verbatim rebuild
+//! reference path (`OptFileBundle::with_config_reference`) under arbitrary
+//! record/insert/evict interleavings — which the policy itself generates
+//! when driven by a random job stream — across every history mode × greedy
+//! variant, for counting and decayed value functions, including warm
+//! starts, resets, and interleaved `explain` dry runs.
+
+use fbc_core::bundle::Bundle;
+use fbc_core::cache::CacheState;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::history::{RequestHistory, ValueFn};
+use fbc_core::optfilebundle::{HistoryMode, OfbConfig, OptFileBundle};
+use fbc_core::policy::{CachePolicy, RequestOutcome};
+use fbc_core::select::GreedyVariant;
+use fbc_core::types::FileId;
+use proptest::prelude::*;
+
+const NUM_FILES: u32 = 24;
+
+fn small_bundle() -> impl Strategy<Value = Bundle> {
+    proptest::collection::vec(0u32..NUM_FILES, 1..=5).prop_map(Bundle::from_raw)
+}
+
+fn catalog() -> FileCatalog {
+    FileCatalog::from_sizes(
+        (0..NUM_FILES as u64)
+            .map(|i| (i % 6) + 1)
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn configs() -> Vec<OfbConfig> {
+    let mut out = Vec::new();
+    for variant in [
+        GreedyVariant::PaperLiteral,
+        GreedyVariant::SortedOnce,
+        GreedyVariant::SharedCredit,
+    ] {
+        for (history_mode, prefetch, use_index) in [
+            (HistoryMode::Full, false, true),
+            (HistoryMode::Full, true, true),
+            (HistoryMode::Window(5), false, true),
+            (HistoryMode::CacheSupported, false, true),
+            (HistoryMode::CacheSupported, false, false),
+        ] {
+            out.push(OfbConfig {
+                history_mode,
+                variant,
+                prefetch,
+                use_index,
+                ..OfbConfig::default()
+            });
+        }
+    }
+    // Bounded candidate lists must truncate identically.
+    out.push(OfbConfig {
+        max_candidates: Some(3),
+        ..OfbConfig::default()
+    });
+    out.push(OfbConfig {
+        history_mode: HistoryMode::Full,
+        max_candidates: Some(4),
+        ..OfbConfig::default()
+    });
+    out
+}
+
+/// Drives a policy over the jobs, interleaving `explain` dry runs (whose
+/// reports — candidates, retained, victims — are part of the comparison).
+fn run(
+    mut policy: OptFileBundle,
+    jobs: &[Bundle],
+    catalog: &FileCatalog,
+    capacity: u64,
+) -> (Vec<RequestOutcome>, Vec<String>, Vec<FileId>) {
+    let mut cache = CacheState::new(capacity);
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    let mut explains = Vec::new();
+    for (i, bundle) in jobs.iter().enumerate() {
+        if i % 5 == 4 {
+            explains.push(format!("{:?}", policy.explain(&cache, catalog, bundle)));
+        }
+        outcomes.push(policy.handle(bundle, &mut cache, catalog));
+    }
+    (outcomes, explains, cache.resident_files_sorted())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random job streams: both paths agree on every outcome (hits,
+    /// fetched/evicted file lists and byte counts), every explain report,
+    /// and the final cache content, for every config in the matrix.
+    #[test]
+    fn resident_path_matches_rebuild_reference(
+        jobs in proptest::collection::vec(small_bundle(), 1..60),
+        decay in proptest::bool::ANY,
+    ) {
+        let catalog = catalog();
+        let value_fn = if decay {
+            ValueFn::Decay { half_life: 3.0 }
+        } else {
+            ValueFn::Count
+        };
+        for config in configs() {
+            let config = OfbConfig { value_fn, ..config };
+            let fast = run(OptFileBundle::with_config(config), &jobs, &catalog, 18);
+            let slow = run(
+                OptFileBundle::with_config_reference(config),
+                &jobs,
+                &catalog,
+                18,
+            );
+            prop_assert_eq!(&fast.0, &slow.0, "outcomes diverged under {:?}", config);
+            prop_assert_eq!(&fast.1, &slow.1, "explains diverged under {:?}", config);
+            prop_assert_eq!(&fast.2, &slow.2, "caches diverged under {:?}", config);
+        }
+    }
+
+    /// Warm starts from a persisted history: the resident mirror populated
+    /// from `with_history` must behave identically to the reference twin's
+    /// index warm start, and a `reset` must bring both back to blank.
+    #[test]
+    fn warm_start_and_reset_match_reference(
+        warmup in proptest::collection::vec(small_bundle(), 1..30),
+        jobs in proptest::collection::vec(small_bundle(), 1..40),
+        decay in proptest::bool::ANY,
+    ) {
+        let catalog = catalog();
+        let value_fn = if decay {
+            ValueFn::Decay { half_life: 4.0 }
+        } else {
+            ValueFn::Count
+        };
+        let mut history = RequestHistory::with_value_fn(value_fn);
+        for b in &warmup {
+            history.record(b);
+        }
+        let mut buf = Vec::new();
+        history.write_to(&mut buf).unwrap();
+        let config = OfbConfig { value_fn, ..OfbConfig::default() };
+
+        let restored = || RequestHistory::read_from(&buf[..]).unwrap();
+        let fast = run(
+            OptFileBundle::with_history(config, restored()),
+            &jobs,
+            &catalog,
+            18,
+        );
+        let slow = run(
+            OptFileBundle::with_history_reference(config, restored()),
+            &jobs,
+            &catalog,
+            18,
+        );
+        prop_assert_eq!(&fast.0, &slow.0, "warm-start outcomes diverged");
+        prop_assert_eq!(&fast.1, &slow.1, "warm-start explains diverged");
+        prop_assert_eq!(&fast.2, &slow.2, "warm-start caches diverged");
+
+        // After a reset both paths restart from an empty history and keep
+        // agreeing (the resident mirror must be fully cleared).
+        let mut fast_p = OptFileBundle::with_history(config, restored());
+        let mut slow_p = OptFileBundle::with_history_reference(config, restored());
+        let mut cache_f = CacheState::new(18);
+        let mut cache_s = CacheState::new(18);
+        for b in jobs.iter().take(10) {
+            fast_p.handle(b, &mut cache_f, &catalog);
+            slow_p.handle(b, &mut cache_s, &catalog);
+        }
+        fast_p.reset();
+        slow_p.reset();
+        // Note: reset clears the policy state but not the cache, matching
+        // the baseline-policy reset contract.
+        let mut fast_out = Vec::new();
+        let mut slow_out = Vec::new();
+        for b in &jobs {
+            fast_out.push(fast_p.handle(b, &mut cache_f, &catalog));
+            slow_out.push(slow_p.handle(b, &mut cache_s, &catalog));
+        }
+        prop_assert_eq!(&fast_out, &slow_out, "post-reset outcomes diverged");
+        prop_assert_eq!(
+            cache_f.resident_files_sorted(),
+            cache_s.resident_files_sorted()
+        );
+    }
+}
