@@ -41,7 +41,7 @@ pub use random::RandomEvict;
 pub use size::LargestFirst;
 pub use slru::Slru;
 
-use fbc_core::policy::CachePolicy;
+use fbc_core::policy::{CachePolicy, SendPolicy};
 
 /// Identifier for constructing any policy in the workspace by name — used by
 /// sweep drivers and experiment binaries.
@@ -94,6 +94,30 @@ impl PolicyKind {
 
     /// Instantiates the policy.
     pub fn build(self) -> Box<dyn CachePolicy> {
+        match self {
+            PolicyKind::OptFileBundle => Box::new(fbc_core::optfilebundle::OptFileBundle::new()),
+            PolicyKind::Landlord => Box::new(Landlord::new()),
+            PolicyKind::LandlordSizeAware => {
+                Box::new(Landlord::with_cost_model(CostModel::SizeAware))
+            }
+            PolicyKind::Lru => Box::new(Lru::new()),
+            PolicyKind::Lru2 => Box::new(LruK::lru2()),
+            PolicyKind::Arc => Box::new(Arc::new()),
+            PolicyKind::Lfu => Box::new(Lfu::new()),
+            PolicyKind::Gdsf => Box::new(Gdsf::new()),
+            PolicyKind::Fifo => Box::new(Fifo::new()),
+            PolicyKind::Random => Box::new(RandomEvict::new(0xF1BC)),
+            PolicyKind::LargestFirst => Box::new(LargestFirst::new()),
+            PolicyKind::Slru => Box::new(Slru::new()),
+            PolicyKind::BeladyMin => Box::new(BeladyMin::new()),
+        }
+    }
+
+    /// Instantiates the policy as a [`SendPolicy`] for cross-thread use
+    /// (sharded drivers build one instance per worker). Same constructors
+    /// and configuration as [`build`](Self::build) — every policy in the
+    /// workspace owns its state, so all of them are `Send`.
+    pub fn build_send(self) -> SendPolicy {
         match self {
             PolicyKind::OptFileBundle => Box::new(fbc_core::optfilebundle::OptFileBundle::new()),
             PolicyKind::Landlord => Box::new(Landlord::new()),

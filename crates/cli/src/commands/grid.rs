@@ -3,12 +3,15 @@
 
 use crate::args::{ArgError, Args};
 use crate::obs::{emit, obs_from_args};
-use crate::policies::{policy_by_name, POLICY_NAMES};
+use crate::policies::{policy_by_name, policy_kind_by_name, POLICY_NAMES};
+use fbc_core::policy::SendPolicy;
 use fbc_grid::client::{schedule_arrivals, ArrivalProcess};
+use fbc_grid::concurrent::{run_concurrent_grid_observed, ConcurrentConfig};
 use fbc_grid::engine::{run_grid_observed, GridConfig};
 use fbc_grid::faults::{FaultPlan, PRESET_NAMES};
 use fbc_grid::mss::MssConfig;
 use fbc_grid::network::LinkConfig;
+use fbc_grid::shard::ShardBy;
 use fbc_grid::srm::{RetryPolicy, SrmConfig};
 use fbc_grid::time::SimDuration;
 use fbc_workload::Trace;
@@ -36,8 +39,15 @@ Options:
                         clauses like 'drive=0,60,300;transient=0.01;seed=7'
   --max-retries N       fetch retries before a job fails [5]
   --fetch-timeout-secs S  abandon a fetch attempt after S seconds [none]
+  --shards N            split the SRM into N decision shards [1]
+  --workers M           worker threads executing shards [= shards]
+  --shard-by MODE       shard routing: 'file' (lead file) or 'bundle' [file]
   --obs                 print the observability counter table after the run
   --obs-trace FILE      write the JSONL event trace to FILE (implies --obs)
+
+With --shards 1 (the default) the run is the single-threaded engine,
+byte-identical to previous releases; --shards N splits the cache and the
+request stream over N independent shard engines (see DESIGN.md §12).
 ";
 
 /// Runs the subcommand.
@@ -57,6 +67,9 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "faults",
         "max-retries",
         "fetch-timeout-secs",
+        "shards",
+        "workers",
+        "shard-by",
         "obs",
         "obs-trace",
     ])?;
@@ -98,6 +111,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             },
             ..RetryPolicy::default()
         },
+        full_response_log: false,
     };
     let rate: f64 = args.get_or("rate", 2.0f64)?;
     let seed: u64 = args.get_or("arrival-seed", 1u64)?;
@@ -113,18 +127,64 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             .map_err(|e| ArgError(format!("bad --faults spec: {e}")))?;
     }
 
+    let shards: usize = args.get_or("shards", 1usize)?;
+    if shards == 0 {
+        return Err(ArgError("--shards must be at least 1".into()));
+    }
+    let workers: usize = args.get_or("workers", shards)?;
+    let shard_by = match args.get("shard-by") {
+        Some(s) => ShardBy::parse(s).ok_or_else(|| {
+            ArgError(format!("bad --shard-by value '{s}' (one of: file, bundle)"))
+        })?,
+        None => ShardBy::File,
+    };
+    // Any sharding flag routes through the concurrent front-end, so
+    // `--shards 1` exercises (and demonstrates) its engine equivalence.
+    let concurrent = args.get("shards").is_some()
+        || args.get("workers").is_some()
+        || args.get("shard-by").is_some();
+
     let trace =
         Trace::load(trace_path).map_err(|e| ArgError(format!("cannot read {trace_path}: {e}")))?;
     let arrivals = schedule_arrivals(&trace.requests, ArrivalProcess::Poisson { rate, seed });
     let obs = obs_from_args(args);
-    let stats = run_grid_observed(
-        policy.as_mut(),
-        &trace.catalog,
-        &arrivals,
-        &config,
-        plan.as_ref(),
-        &obs,
-    );
+    let stats = if concurrent {
+        let kind = policy_kind_by_name(policy_name)
+            .expect("policy name was validated by policy_by_name above");
+        let factory = move || -> SendPolicy { kind.build_send() };
+        let cfg = ConcurrentConfig {
+            grid: config,
+            shards,
+            workers,
+            shard_by,
+            ..ConcurrentConfig::default()
+        };
+        let cstats = run_concurrent_grid_observed(
+            &factory,
+            &trace.catalog,
+            &arrivals,
+            &cfg,
+            plan.as_ref(),
+            &obs,
+        );
+        let routed: Vec<String> = cstats.routed.iter().map(|n| n.to_string()).collect();
+        println!(
+            "shards:            {shards} ({} routing, {} workers)",
+            shard_by.label(),
+            workers.clamp(1, shards)
+        );
+        println!("routed:            [{}]", routed.join(", "));
+        cstats.overall
+    } else {
+        run_grid_observed(
+            policy.as_mut(),
+            &trace.catalog,
+            &arrivals,
+            &config,
+            plan.as_ref(),
+            &obs,
+        )
+    };
 
     println!("policy:            {}", policy.name());
     println!("completed:         {}", stats.completed);
@@ -219,6 +279,36 @@ mod tests {
         run(&args).unwrap();
         assert_eq!(first, std::fs::read_to_string(&out).unwrap());
         std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn grid_command_sharded_run_and_flag_validation() {
+        let path = std::env::temp_dir().join("fbc_cli_grid_shards_test.trace");
+        Trace::new(
+            FileCatalog::from_sizes(vec![1_000_000; 8]),
+            (0..20u32)
+                .map(|i| Bundle::from_raw([i % 8, (i * 3 + 1) % 8]))
+                .collect::<Vec<_>>(),
+        )
+        .save(&path)
+        .unwrap();
+        let base = [
+            "--trace",
+            path.to_str().unwrap(),
+            "--cache",
+            "16MiB",
+            "--mount-secs",
+            "0.5",
+        ];
+        let with =
+            |extra: &[&str]| Args::parse(base.iter().chain(extra).map(|s| s.to_string())).unwrap();
+        run(&with(&["--shards", "4", "--workers", "2"])).unwrap();
+        run(&with(&["--shards", "2", "--shard-by", "bundle"])).unwrap();
+        // shards=1 still goes through the concurrent front-end cleanly.
+        run(&with(&["--shards", "1"])).unwrap();
+        assert!(run(&with(&["--shards", "0"])).is_err());
+        assert!(run(&with(&["--shards", "2", "--shard-by", "nope"])).is_err());
         std::fs::remove_file(&path).ok();
     }
 

@@ -20,10 +20,12 @@ pub const POLICY_NAMES: [&str; 13] = [
     "belady",
 ];
 
-/// Builds a policy from a (case-insensitive) name; returns `None` for
-/// unknown names.
-pub fn policy_by_name(name: &str) -> Option<Box<dyn CachePolicy>> {
-    let kind = match name.to_ascii_lowercase().as_str() {
+/// Resolves a (case-insensitive) name or alias to its [`PolicyKind`];
+/// returns `None` for unknown names. `PolicyKind` is `Copy`, so drivers
+/// that need fresh per-shard instances can keep the kind and call
+/// [`PolicyKind::build_send`] per worker.
+pub fn policy_kind_by_name(name: &str) -> Option<PolicyKind> {
+    Some(match name.to_ascii_lowercase().as_str() {
         "optfilebundle" | "ofb" | "opt" => PolicyKind::OptFileBundle,
         "landlord" | "ll" => PolicyKind::Landlord,
         "landlord-size" => PolicyKind::LandlordSizeAware,
@@ -38,8 +40,13 @@ pub fn policy_by_name(name: &str) -> Option<Box<dyn CachePolicy>> {
         "slru" => PolicyKind::Slru,
         "belady" | "min" | "opt-offline" => PolicyKind::BeladyMin,
         _ => return None,
-    };
-    Some(kind.build())
+    })
+}
+
+/// Builds a policy from a (case-insensitive) name; returns `None` for
+/// unknown names.
+pub fn policy_by_name(name: &str) -> Option<Box<dyn CachePolicy>> {
+    policy_kind_by_name(name).map(PolicyKind::build)
 }
 
 #[cfg(test)]

@@ -74,7 +74,7 @@ pub mod prelude {
     pub use crate::history::{RequestHistory, ValueFn};
     pub use crate::instance::{FbcInstance, Selection};
     pub use crate::optfilebundle::{DecisionExplanation, HistoryMode, OfbConfig, OptFileBundle};
-    pub use crate::policy::{CachePolicy, RequestOutcome};
+    pub use crate::policy::{CachePolicy, PolicyFactory, RequestOutcome, SendPolicy};
     pub use crate::select::{opt_cache_select, GreedyVariant, SelectOptions};
     pub use crate::types::{Bytes, FileId, GIB, KIB, MIB, TIB};
 }

@@ -157,6 +157,29 @@ impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
     }
 }
 
+/// A boxed policy that can be moved across threads — what a sharded
+/// driver hands each worker.
+pub type SendPolicy = Box<dyn CachePolicy + Send>;
+
+/// Builds fresh policy instances on demand, from any thread.
+///
+/// Concurrent drivers (one policy per shard, constructed inside worker
+/// threads) can't share a `&mut dyn CachePolicy`; they take a factory and
+/// build per-shard instances instead. Any `Fn() -> SendPolicy` closure
+/// that is itself `Send + Sync` qualifies via the blanket impl — e.g.
+/// `|| -> SendPolicy { Box::new(Lru::new()) }` or a `PolicyKind`-driven
+/// constructor.
+pub trait PolicyFactory: Send + Sync {
+    /// Constructs a fresh, unprepared policy instance.
+    fn build_policy(&self) -> SendPolicy;
+}
+
+impl<F: Fn() -> SendPolicy + Send + Sync> PolicyFactory for F {
+    fn build_policy(&self) -> SendPolicy {
+        self()
+    }
+}
+
 /// Services `bundle` using a caller-supplied victim chooser, centralising
 /// the hit/fetch/evict accounting shared by most baseline policies.
 ///

@@ -46,6 +46,11 @@ pub struct GridConfig {
     pub link: LinkConfig,
     /// How failed or stalled fetches are retried before a job is failed.
     pub retry: RetryPolicy,
+    /// Keep the unbounded per-job response-time log (completion order) in
+    /// [`GridStats::responses`]. Off by default: mean/percentiles come
+    /// from the bounded accumulator either way, the log is only for
+    /// consumers that need every sample.
+    pub full_response_log: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,6 +202,27 @@ pub fn run_grid_observed(
     plan: Option<&FaultPlan>,
     obs: &Obs,
 ) -> GridStats {
+    let mut cache = CacheState::new(config.srm.cache_size);
+    run_grid_on_cache(policy, catalog, arrivals, config, plan, obs, &mut cache)
+}
+
+/// [`run_grid_observed`] on a caller-owned [`CacheState`].
+///
+/// This is the engine's reusable core: the sharded service
+/// ([`crate::concurrent`]) runs one instance per shard, each on its own
+/// cache (typically `capacity / shards`) — rejection compares against
+/// `cache.capacity()`, so a per-shard cache naturally rejects bundles
+/// infeasible for its share. With `cache = CacheState::new(srm.cache_size)`
+/// this is exactly [`run_grid_observed`].
+pub fn run_grid_on_cache(
+    policy: &mut dyn CachePolicy,
+    catalog: &FileCatalog,
+    arrivals: &[JobArrival],
+    config: &GridConfig,
+    plan: Option<&FaultPlan>,
+    obs: &Obs,
+    cache: &mut CacheState,
+) -> GridStats {
     if obs.is_enabled() {
         policy.attach_obs(obs.clone());
     }
@@ -207,11 +233,13 @@ pub fn run_grid_observed(
         events.schedule(a.at, Event::Arrival(i));
     }
 
-    let mut cache = CacheState::new(config.srm.cache_size);
     let mut mss = MassStorage::new(config.mss);
     let mut link = Link::new(config.link);
     let mut faults = plan.map(|p| FaultInjector::new(p, config.mss.drives));
     let mut stats = GridStats::default();
+    if config.full_response_log {
+        stats.responses.enable_full_log();
+    }
 
     let mut jobs: Vec<JobState> = arrivals
         .iter()
@@ -263,7 +291,7 @@ pub fn run_grid_observed(
                     continue; // slot stays held while backing off
                 }
                 // Retry budget exhausted: give the job up gracefully.
-                unpin_bundle(&mut cache, &arrivals[i].bundle);
+                unpin_bundle(cache, &arrivals[i].bundle);
                 in_service -= 1;
                 stats.failed += 1;
                 if obs.is_enabled() {
@@ -294,10 +322,10 @@ pub fn run_grid_observed(
                 continue;
             }
             Event::ProcessDone(i) => {
-                unpin_bundle(&mut cache, &arrivals[i].bundle);
+                unpin_bundle(cache, &arrivals[i].bundle);
                 in_service -= 1;
                 stats.completed += 1;
-                stats.response_times.push(now.since(jobs[i].arrival));
+                stats.responses.record(now.since(jobs[i].arrival));
                 last_completion = last_completion.max(now);
                 if obs.is_enabled() {
                     obs.incr("grid.jobs_completed");
@@ -317,7 +345,7 @@ pub fn run_grid_observed(
         while in_service < config.srm.max_concurrent_jobs {
             let Some(&i) = queue.front() else { break };
             let bundle = &arrivals[i].bundle;
-            let outcome = policy.handle(bundle, &mut cache, catalog);
+            let outcome = policy.handle(bundle, cache, catalog);
             debug_assert!(cache.check_invariants());
             stats.cache.record(&outcome);
             if !outcome.serviced {
@@ -341,7 +369,7 @@ pub fn run_grid_observed(
                 break;
             }
             queue.pop_front();
-            pin_bundle(&mut cache, bundle);
+            pin_bundle(cache, bundle);
             in_service += 1;
             jobs[i].fetched_bytes = outcome.fetched_bytes;
             jobs[i].requested_bytes = outcome.requested_bytes;
@@ -390,6 +418,7 @@ mod tests {
                 bandwidth: 100e6,
             },
             retry: RetryPolicy::default(),
+            full_response_log: true, // tests below inspect per-job times
         }
     }
 
@@ -407,7 +436,7 @@ mod tests {
         assert_eq!(stats.completed, 4);
         assert_eq!(stats.rejected, 0);
         assert_eq!(stats.failed, 0);
-        assert_eq!(stats.response_times.len(), 4);
+        assert_eq!(stats.responses.len(), 4);
         assert!(stats.makespan > SimDuration::ZERO);
         assert!(stats.throughput() > 0.0);
         assert_eq!(stats.availability(), 1.0);
@@ -429,7 +458,8 @@ mod tests {
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.cache.hits, 1);
         // The hit skips MSS entirely.
-        assert!(stats.response_times[1] < stats.response_times[0]);
+        let log = stats.responses.full_log().unwrap();
+        assert!(log[1] < log[0]);
     }
 
     #[test]
@@ -455,7 +485,7 @@ mod tests {
         let stats = run_grid(&mut policy, &catalog, &arrivals, &cfg);
         assert_eq!(stats.completed, 4);
         // Later jobs wait: response times strictly increase.
-        for w in stats.response_times.windows(2) {
+        for w in stats.responses.full_log().unwrap().windows(2) {
             assert!(w[0] < w[1]);
         }
     }
@@ -474,7 +504,7 @@ mod tests {
         let run = || {
             let mut policy = OptFileBundle::new();
             let s = run_grid(&mut policy, &catalog, &arrivals, &quick_config(3_000_000));
-            (s.completed, s.makespan, s.response_times.clone())
+            (s.completed, s.makespan, s.responses.clone())
         };
         assert_eq!(run(), run());
     }

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod concurrent;
 pub mod engine;
 pub mod event;
 pub mod faults;
@@ -38,18 +39,26 @@ pub mod multi;
 pub mod network;
 pub mod replica;
 pub mod scenario;
+pub mod shard;
 pub mod srm;
 pub mod stats;
 pub mod time;
 
 pub use client::{schedule_arrivals, ArrivalProcess, JobArrival};
-pub use engine::{run_grid, run_grid_observed, run_grid_with_faults, GridConfig};
+pub use concurrent::{
+    run_concurrent_grid, run_concurrent_grid_observed, ConcurrentConfig, ConcurrentSrm,
+    ConcurrentStats,
+};
+pub use engine::{
+    run_grid, run_grid_observed, run_grid_on_cache, run_grid_with_faults, GridConfig,
+};
 pub use faults::{DriveSelector, FaultInjector, FaultPlan, RateWindow, FOREVER};
 pub use mss::{MassStorage, MssConfig};
 pub use multi::{run_multi_grid, Dispatch, MultiGridConfig, MultiGridStats};
 pub use network::{Link, LinkConfig};
 pub use replica::{run_grid_replicated, Placement, ReplicaGridConfig};
 pub use scenario::{run_scenario, run_scenario_with_faults, ScenarioConfig};
+pub use shard::{ShardBy, ShardMap};
 pub use srm::{RetryPolicy, SrmConfig};
-pub use stats::{GridReport, GridStats};
+pub use stats::{GridReport, GridStats, ResponseStats};
 pub use time::{SimDuration, SimTime};

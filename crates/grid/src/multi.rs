@@ -181,9 +181,9 @@ pub fn run_multi_grid(
                 nodes[node].in_service -= 1;
                 let rt = now.since(arrivals[job].at);
                 stats.per_node[node].completed += 1;
-                stats.per_node[node].response_times.push(rt);
+                stats.per_node[node].responses.record(rt);
                 stats.overall.completed += 1;
-                stats.overall.response_times.push(rt);
+                stats.overall.responses.record(rt);
                 last_completion = last_completion.max(now);
                 node
             }
@@ -365,6 +365,7 @@ mod tests {
             mss: cfg.mss,
             link: cfg.link,
             retry: crate::srm::RetryPolicy::default(),
+            full_response_log: false,
         };
         let mut policy = OptFileBundle::new();
         let single = crate::engine::run_grid(&mut policy, &catalog, &arrivals, &single_cfg);

@@ -140,7 +140,7 @@ pub fn run_grid_replicated(
                 unpin_bundle(&mut cache, &arrivals[i].bundle);
                 in_service -= 1;
                 stats.completed += 1;
-                stats.response_times.push(now.since(arrivals[i].at));
+                stats.responses.record(now.since(arrivals[i].at));
                 last_completion = last_completion.max(now);
             }
         }

@@ -86,12 +86,18 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// Backoff delay after the `failed_attempts`-th consecutive failure
     /// (1-based), scaled by a pre-drawn `jitter` factor.
+    ///
+    /// `max_backoff` is a hard ceiling on the *delivered* delay: the cap
+    /// is applied after jitter. (Capping before jitter let a saturated
+    /// backoff exceed the configured maximum by up to `jitter_frac` —
+    /// with many workers in simultaneous backoff that overshoot defeats
+    /// the bound the cap exists to provide.)
     pub fn backoff(&self, failed_attempts: u32, jitter: f64) -> SimDuration {
         debug_assert!(failed_attempts >= 1, "backoff before any failure");
         let shift = failed_attempts.saturating_sub(1).min(20);
         let exp = self.base_backoff.micros().saturating_mul(1u64 << shift);
-        let capped = exp.min(self.max_backoff.micros());
-        SimDuration((capped as f64 * jitter).round() as u64)
+        let jittered = (exp as f64 * jitter).round() as u64;
+        SimDuration(jittered.min(self.max_backoff.micros()))
     }
 }
 
@@ -160,6 +166,25 @@ mod tests {
             ..RetryPolicy::default()
         };
         assert_eq!(rp.backoff(1, 1.5), SimDuration::from_millis(1500));
+    }
+
+    #[test]
+    fn jitter_cannot_exceed_max_backoff() {
+        // Regression: the cap used to apply before the jitter multiply,
+        // so a saturated backoff escaped max_backoff by jitter_frac.
+        let rp = RetryPolicy {
+            base_backoff: SimDuration::from_secs(1),
+            max_backoff: SimDuration::from_secs(5),
+            ..RetryPolicy::default()
+        };
+        for attempts in [4, 10, 40] {
+            assert_eq!(rp.backoff(attempts, 1.5), SimDuration::from_secs(5));
+            assert!(rp.backoff(attempts, 1.0999) <= rp.max_backoff);
+        }
+        // Unsaturated delays still scale with jitter below the cap…
+        assert_eq!(rp.backoff(2, 1.25), SimDuration::from_millis(2500));
+        // …and a jittered near-cap delay is clamped, not overshot.
+        assert_eq!(rp.backoff(3, 1.5), SimDuration::from_secs(5));
     }
 
     #[test]

@@ -5,6 +5,129 @@
 use crate::time::SimDuration;
 use fbc_sim::metrics::Metrics;
 use fbc_sim::report::{f4, Table};
+use std::collections::BTreeMap;
+
+/// Exact bounded accumulator of job response times.
+///
+/// The engines used to push one `SimDuration` per completed job into an
+/// ever-growing vector just to answer mean/p95 — a million-job run
+/// carried an 8 MB+ log, and every percentile call cloned and re-sorted
+/// it (twice per rendered report). This accumulator keeps a running sum
+/// plus an ordered `micros → count` histogram, so memory is bounded by
+/// the number of *distinct* response times, quantiles are exact
+/// (nearest-rank over the ordered counts, no sort ever) and the report
+/// renders without cloning anything.
+///
+/// The per-job log survives behind the [`GridStats`] driver's
+/// `full_response_log` opt-in ([`crate::engine::GridConfig`]): only runs
+/// that ask for completion-order response times pay for storing them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResponseStats {
+    count: u64,
+    sum_micros: u128,
+    hist: BTreeMap<u64, u64>,
+    full_log: Option<Vec<SimDuration>>,
+}
+
+impl ResponseStats {
+    /// A fresh accumulator without the per-job log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh accumulator that additionally keeps every response time in
+    /// completion order (unbounded — one entry per completed job).
+    pub fn with_full_log() -> Self {
+        Self {
+            full_log: Some(Vec::new()),
+            ..Self::default()
+        }
+    }
+
+    /// Turns on the per-job log (no-op if already on). Call before the
+    /// first [`record`](Self::record); samples recorded earlier are not
+    /// back-filled.
+    pub fn enable_full_log(&mut self) {
+        self.full_log.get_or_insert_with(Vec::new);
+    }
+
+    /// Folds one completed job's response time into the accumulator.
+    pub fn record(&mut self, rt: SimDuration) {
+        self.count += 1;
+        self.sum_micros += u128::from(rt.micros());
+        *self.hist.entry(rt.micros()).or_insert(0) += 1;
+        if let Some(log) = &mut self.full_log {
+            log.push(rt);
+        }
+    }
+
+    /// Number of recorded response times.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean response time, or zero when nothing was recorded (integer
+    /// microsecond division, matching the previous vector-based mean).
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((self.sum_micros / u128::from(self.count)) as u64)
+    }
+
+    /// Exact nearest-rank `q`-quantile (`0.0 ..= 1.0`), zero when empty.
+    ///
+    /// A single cumulative walk over the ordered histogram — no clone, no
+    /// sort — with the same semantics as [`fbc_obs::quantile`].
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        let n = usize::try_from(self.count).unwrap_or(usize::MAX);
+        let Some(idx) = fbc_obs::quantile::nearest_rank_index(q, n) else {
+            return SimDuration::ZERO;
+        };
+        let rank = idx as u64; // 0-based rank among the sorted samples
+        let mut seen = 0u64;
+        for (&micros, &c) in &self.hist {
+            seen += c;
+            if seen > rank {
+                return SimDuration(micros);
+            }
+        }
+        SimDuration::ZERO // unreachable for a consistent accumulator
+    }
+
+    /// Largest recorded response time (zero when empty).
+    pub fn max(&self) -> SimDuration {
+        self.hist
+            .keys()
+            .next_back()
+            .map_or(SimDuration::ZERO, |&m| SimDuration(m))
+    }
+
+    /// The completion-order per-job log, if the opt-in was active.
+    pub fn full_log(&self) -> Option<&[SimDuration]> {
+        self.full_log.as_deref()
+    }
+
+    /// Folds another accumulator into this one. The per-job log is
+    /// concatenated only when both sides keep one (shard merges append in
+    /// shard order, so a merged log is per-shard completion order, not
+    /// global completion order).
+    pub fn merge(&mut self, other: &ResponseStats) {
+        self.count += other.count;
+        self.sum_micros += other.sum_micros;
+        for (&micros, &c) in &other.hist {
+            *self.hist.entry(micros).or_insert(0) += c;
+        }
+        if let (Some(log), Some(other_log)) = (&mut self.full_log, &other.full_log) {
+            log.extend_from_slice(other_log);
+        }
+    }
+}
 
 /// Results of one grid run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -27,9 +150,8 @@ pub struct GridStats {
     pub fetch_timeouts: u64,
     /// Fetch attempts that completed their transfer but failed transiently.
     pub transient_fetch_errors: u64,
-    /// Response time (arrival → completion) of every completed job, in
-    /// completion order.
-    pub response_times: Vec<SimDuration>,
+    /// Response times (arrival → completion) of completed jobs.
+    pub responses: ResponseStats,
     /// Virtual time at which the last job completed.
     pub makespan: SimDuration,
 }
@@ -37,24 +159,34 @@ pub struct GridStats {
 impl GridStats {
     /// Mean response time, or zero when nothing completed.
     pub fn mean_response(&self) -> SimDuration {
-        if self.response_times.is_empty() {
-            return SimDuration::ZERO;
-        }
-        let total: u64 = self.response_times.iter().map(|d| d.micros()).sum();
-        SimDuration(total / self.response_times.len() as u64)
+        self.responses.mean()
     }
 
     /// The `p`-th percentile response time (`0.0 ..= 1.0`), nearest-rank.
     ///
-    /// Uses the workspace-wide helper in [`fbc_obs::quantile`] — the same
-    /// semantics as `LatencyStats::quantile`. (This method used to
-    /// document nearest-rank but compute the linear index
-    /// `round(p·(n−1))`, disagreeing with the sim crate's percentiles on
-    /// e.g. even-length samples.)
+    /// Uses the workspace-wide semantics of [`fbc_obs::quantile`] — the
+    /// same as `LatencyStats::quantile`. Exact and sort-free: the
+    /// accumulator keeps an ordered histogram (see [`ResponseStats`]).
     pub fn percentile_response(&self, p: f64) -> SimDuration {
-        let mut sorted = self.response_times.clone();
-        sorted.sort_unstable();
-        fbc_obs::quantile::nearest_rank(&sorted, p).unwrap_or(SimDuration::ZERO)
+        self.responses.quantile(p)
+    }
+
+    /// Folds another run's statistics into this one — the deterministic
+    /// shard merge used by [`crate::concurrent`]: counters sum, cache
+    /// metrics merge, response accumulators merge, and the makespan is
+    /// the latest completion across shards (throughput of the merged
+    /// stats is total completions over that shared virtual-time span).
+    pub fn merge_shard(&mut self, other: &GridStats) {
+        self.cache.merge(&other.cache);
+        self.completed += other.completed;
+        self.rejected += other.rejected;
+        self.failed += other.failed;
+        self.fetch_attempts += other.fetch_attempts;
+        self.fetch_retries += other.fetch_retries;
+        self.fetch_timeouts += other.fetch_timeouts;
+        self.transient_fetch_errors += other.transient_fetch_errors;
+        self.responses.merge(&other.responses);
+        self.makespan = self.makespan.max(other.makespan);
     }
 
     /// Completed jobs per second of virtual time.
@@ -135,14 +267,18 @@ impl std::fmt::Display for GridReport {
 mod tests {
     use super::*;
 
+    fn responses(secs: impl IntoIterator<Item = u64>) -> ResponseStats {
+        let mut r = ResponseStats::new();
+        for s in secs {
+            r.record(SimDuration::from_secs(s));
+        }
+        r
+    }
+
     #[test]
     fn response_time_summaries() {
         let s = GridStats {
-            response_times: vec![
-                SimDuration::from_secs(1),
-                SimDuration::from_secs(3),
-                SimDuration::from_secs(2),
-            ],
+            responses: responses([1, 3, 2]),
             completed: 3,
             makespan: SimDuration::from_secs(6),
             ..GridStats::default()
@@ -160,12 +296,7 @@ mod tests {
         // p = 0.5 the nearest rank is ⌈0.5·4⌉ = 2, so the answer is the
         // 2nd element; round(0.5·(4−1)) picked the 3rd.
         let s = GridStats {
-            response_times: vec![
-                SimDuration::from_secs(4),
-                SimDuration::from_secs(1),
-                SimDuration::from_secs(3),
-                SimDuration::from_secs(2),
-            ],
+            responses: responses([4, 1, 3, 2]),
             ..GridStats::default()
         };
         assert_eq!(s.percentile_response(0.5), SimDuration::from_secs(2));
@@ -174,12 +305,95 @@ mod tests {
         assert_eq!(s.percentile_response(1.0), SimDuration::from_secs(4));
         // p95 over 14 samples: nearest rank ⌈0.95·14⌉ = 14 → the max;
         // the old linear index round(0.95·13) = 12 picked the 13th.
-        let times: Vec<SimDuration> = (1..=14).map(SimDuration::from_secs).collect();
         let s = GridStats {
-            response_times: times,
+            responses: responses(1..=14),
             ..GridStats::default()
         };
         assert_eq!(s.percentile_response(0.95), SimDuration::from_secs(14));
+    }
+
+    #[test]
+    fn accumulator_matches_sorted_vector_semantics() {
+        // The accumulator must reproduce exactly what clone+sort+
+        // nearest_rank produced on the old Vec<SimDuration> field,
+        // including ties and truncating integer mean.
+        let samples: Vec<u64> = vec![7, 3, 3, 9, 1, 3, 9, 2, 8, 8];
+        let mut acc = ResponseStats::new();
+        for &s in &samples {
+            acc.record(SimDuration(s));
+        }
+        let mut sorted: Vec<SimDuration> = samples.iter().map(|&s| SimDuration(s)).collect();
+        sorted.sort_unstable();
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(
+                acc.quantile(q),
+                fbc_obs::quantile::nearest_rank(&sorted, q).unwrap(),
+                "q={q}"
+            );
+        }
+        let total: u64 = samples.iter().sum();
+        assert_eq!(acc.mean(), SimDuration(total / samples.len() as u64));
+        assert_eq!(acc.len(), samples.len() as u64);
+        assert_eq!(acc.max(), SimDuration(9));
+        assert_eq!(acc.full_log(), None, "log is opt-in");
+    }
+
+    #[test]
+    fn full_log_preserves_completion_order() {
+        let mut acc = ResponseStats::with_full_log();
+        for s in [5u64, 2, 9] {
+            acc.record(SimDuration(s));
+        }
+        assert_eq!(
+            acc.full_log().unwrap(),
+            &[SimDuration(5), SimDuration(2), SimDuration(9)]
+        );
+        // enable_full_log on an active log is a no-op, not a reset.
+        acc.enable_full_log();
+        assert_eq!(acc.full_log().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn merged_accumulators_summarise_the_union() {
+        let mut a = responses([1, 4]);
+        let b = responses([2, 2, 8]);
+        a.merge(&b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.quantile(1.0), SimDuration::from_secs(8));
+        assert_eq!(a.quantile(0.5), SimDuration::from_secs(2));
+        // mean = (1+4+2+2+8)/5 = 3.4s → truncates to 3.4e6 µs exactly.
+        assert_eq!(a.mean(), SimDuration::from_millis(3400));
+    }
+
+    #[test]
+    fn merge_shard_sums_counters_and_takes_latest_makespan() {
+        let mut a = GridStats {
+            completed: 3,
+            failed: 1,
+            fetch_attempts: 5,
+            responses: responses([1, 2, 3]),
+            makespan: SimDuration::from_secs(10),
+            ..GridStats::default()
+        };
+        let b = GridStats {
+            completed: 2,
+            rejected: 1,
+            fetch_attempts: 4,
+            fetch_retries: 2,
+            responses: responses([4, 5]),
+            makespan: SimDuration::from_secs(7),
+            ..GridStats::default()
+        };
+        a.merge_shard(&b);
+        assert_eq!(a.completed, 5);
+        assert_eq!(a.failed, 1);
+        assert_eq!(a.rejected, 1);
+        assert_eq!(a.fetch_attempts, 9);
+        assert_eq!(a.fetch_retries, 2);
+        assert_eq!(a.responses.len(), 5);
+        assert_eq!(a.makespan, SimDuration::from_secs(10));
+        assert_eq!(a.mean_response(), SimDuration::from_secs(3));
+        assert!((a.throughput() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -54,6 +54,7 @@ fn config() -> GridConfig {
             bandwidth: 50e6,
         },
         retry: RetryPolicy::default(),
+        full_response_log: false,
     }
 }
 
@@ -95,8 +96,8 @@ fn different_fault_seed_changes_the_run() {
     // 30% transient errors over ~80 fetch attempts: the two seeds drawing
     // identical failure patterns is vanishingly unlikely.
     assert_ne!(
-        (a.transient_fetch_errors, a.response_times.clone()),
-        (b.transient_fetch_errors, b.response_times.clone())
+        (a.transient_fetch_errors, a.responses.clone()),
+        (b.transient_fetch_errors, b.responses.clone())
     );
 }
 

@@ -171,6 +171,21 @@ impl EventLog {
         self.dropped
     }
 
+    /// Maximum number of events the ring holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends every event of `other` (oldest first) through the normal
+    /// bounded [`push`](Self::push) path — this ring's capacity still
+    /// governs — and carries over `other`'s dropped count.
+    pub fn absorb(&mut self, other: &EventLog) {
+        for e in other.iter() {
+            self.push(e.clone());
+        }
+        self.dropped += other.dropped;
+    }
+
     /// Iterates the held events, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &Event> {
         self.buf.iter()

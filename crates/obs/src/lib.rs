@@ -271,6 +271,50 @@ impl Obs {
             g.now = 0;
         }
     }
+
+    /// A fresh sink with this handle's configuration (event capacity,
+    /// wall-clock opt-in) but its own registry, ring and clock — disabled
+    /// when this handle is disabled.
+    ///
+    /// Concurrent drivers give each worker a child so recording never
+    /// contends on the parent's mutex or interleaves nondeterministically,
+    /// then fold the children back with [`merge_from`](Self::merge_from)
+    /// in a fixed order.
+    pub fn child(&self) -> Obs {
+        match self.lock() {
+            None => Obs::disabled(),
+            Some(g) => Obs::with_config(ObsConfig {
+                event_capacity: g.events.capacity(),
+                wall_clock: g.wall_clock,
+            }),
+        }
+    }
+
+    /// Folds `other`'s recordings into this sink: counters add, histogram
+    /// samples concatenate, gauges take `other`'s value, `other`'s events
+    /// append (oldest first, through this ring's own bounded push), and
+    /// the virtual clock advances to the later of the two. A no-op when
+    /// either handle is disabled or both share one sink.
+    ///
+    /// Merging children in a fixed order (e.g. shard index) keeps the
+    /// combined trace deterministic regardless of worker scheduling.
+    pub fn merge_from(&self, other: &Obs) {
+        if let (Some(a), Some(b)) = (&self.inner, &other.inner) {
+            if Arc::ptr_eq(a, b) {
+                return;
+            }
+            // Lock ordering: `other` is fully read before `self` is
+            // touched, so no lock is ever held while taking another.
+            let (registry, events, other_now) = {
+                let g = b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                (g.registry.clone(), g.events.clone(), g.now)
+            };
+            let mut g = a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            g.registry.merge(&registry);
+            g.events.absorb(&events);
+            g.now = g.now.max(other_now);
+        }
+    }
 }
 
 struct SpanState {
@@ -433,5 +477,74 @@ mod tests {
     fn handles_are_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Obs>();
+    }
+
+    #[test]
+    fn child_inherits_config_but_not_state() {
+        let parent = Obs::with_config(ObsConfig {
+            event_capacity: 3,
+            ..ObsConfig::default()
+        });
+        parent.incr("c");
+        parent.set_now(9);
+        let child = parent.child();
+        assert!(child.is_enabled());
+        assert_eq!(child.counter("c"), 0, "fresh registry");
+        assert_eq!(child.now(), 0, "fresh clock");
+        for i in 0..5 {
+            child.set_now(i);
+            child.event("e", &[]);
+        }
+        assert_eq!(child.events_recorded(), 3, "inherits the ring capacity");
+        assert_eq!(parent.events_recorded(), 0, "separate sinks");
+        assert!(!Obs::disabled().child().is_enabled());
+    }
+
+    #[test]
+    fn merge_from_folds_a_child_back() {
+        let parent = Obs::enabled();
+        parent.incr("shared");
+        parent.set_gauge("g", 1);
+        parent.set_now(5);
+        parent.event("p", &[]);
+        let child = parent.child();
+        child.incr("shared");
+        child.incr("child.only");
+        child.set_gauge("g", 7);
+        child.observe("h", 10);
+        child.set_now(9);
+        child.event("c", &[("k", Field::u(1))]);
+        parent.merge_from(&child);
+        assert_eq!(parent.counter("shared"), 2);
+        assert_eq!(parent.counter("child.only"), 1);
+        assert_eq!(parent.gauge("g"), 7, "gauge: merged-in value wins");
+        assert_eq!(parent.histogram_quantile("h", 1.0), Some(10));
+        assert_eq!(parent.now(), 9, "clock advances to the later run");
+        assert_eq!(
+            parent.jsonl(),
+            "{\"t\":5,\"ev\":\"p\"}\n{\"t\":9,\"ev\":\"c\",\"k\":1}\n"
+        );
+        // Self-merge and disabled-merge are no-ops.
+        parent.merge_from(&parent.clone());
+        parent.merge_from(&Obs::disabled());
+        assert_eq!(parent.counter("shared"), 2);
+    }
+
+    #[test]
+    fn fixed_order_merge_is_deterministic() {
+        let run = || {
+            let parent = Obs::enabled();
+            let children: Vec<Obs> = (0..4).map(|_| parent.child()).collect();
+            for (i, c) in children.iter().enumerate() {
+                c.set_now(i as u64 * 10);
+                c.incr("jobs");
+                c.event("done", &[("shard", Field::u(i as u64))]);
+            }
+            for c in &children {
+                parent.merge_from(c);
+            }
+            (parent.jsonl(), parent.render_table())
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -78,6 +78,26 @@ impl Registry {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Folds `other` into this registry: counters add, histogram samples
+    /// concatenate (in `other`'s recording order), and gauges take
+    /// `other`'s last-written value — the same last-write-wins a single
+    /// sink would have seen had `other`'s writes happened after this one's.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, &v) in &other.counters {
+            self.add(name, v);
+        }
+        for (name, &v) in &other.gauges {
+            self.set_gauge(name, v);
+        }
+        for (name, samples) in &other.histograms {
+            if let Some(h) = self.histograms.get_mut(name) {
+                h.extend_from_slice(samples);
+            } else {
+                self.histograms.insert(name.clone(), samples.clone());
+            }
+        }
+    }
+
     /// Clears every metric.
     pub fn clear(&mut self) {
         self.counters.clear();

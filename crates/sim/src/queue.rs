@@ -16,10 +16,12 @@
 use crate::metrics::Metrics;
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
-use fbc_core::history::RequestHistory;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::history::{RequestHistory, ValueFn};
 use fbc_core::policy::CachePolicy;
 use fbc_obs::{Field, Obs};
 use fbc_workload::trace::Trace;
+use std::collections::HashSet;
 
 use crate::runner::RunConfig;
 
@@ -130,30 +132,16 @@ pub fn run_queued_observed(
             break;
         }
         obs.incr("queue.batches");
-        // Drain the batch in discipline order.
-        while !pending.is_empty() {
-            let idx = match queue.discipline {
-                Discipline::Fcfs => 0,
-                Discipline::ShortestJobFirst => pending
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, (_, b))| b.total_size(catalog))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0),
-                Discipline::HighestRelativeValue => {
-                    let mut best = 0;
-                    let mut best_rv = ranking_history.relative_value(&pending[0].1, catalog);
-                    for (i, (_, bundle)) in pending.iter().enumerate().skip(1) {
-                        let rv = ranking_history.relative_value(bundle, catalog);
-                        if rv > best_rv {
-                            best = i;
-                            best_rv = rv;
-                        }
-                    }
-                    best
-                }
-            };
-            let (arrived, bundle) = pending.remove(idx);
+        // Compute the full service order for the batch up front, then
+        // drain by moving jobs out of their slots — no `Vec::remove`, no
+        // per-pick rescan of the whole queue (see [`drain_order`]). The
+        // ranking history is advanced inside `drain_order` in exactly the
+        // service order, so cross-batch HRV state is unchanged.
+        let order = drain_order(queue.discipline, &mut ranking_history, &pending, catalog);
+        debug_assert_eq!(order.len(), pending.len());
+        let mut slots: Vec<Option<(u64, Bundle)>> = pending.drain(..).map(Some).collect();
+        for idx in order {
+            let (arrived, bundle) = slots[idx].take().expect("each slot serviced exactly once");
             obs.set_now(processed);
             let outcome = if run.record_latency {
                 let start = std::time::Instant::now();
@@ -182,10 +170,94 @@ pub fn run_queued_observed(
                 metrics.record(&outcome);
             }
             processed += 1;
-            ranking_history.record(&bundle);
         }
     }
     metrics
+}
+
+/// Computes the order in which a full batch is serviced and records every
+/// bundle into `history` in that order (the runner's ranking history must
+/// advance per serviced job, exactly as when picks and services were
+/// interleaved — the ranking is a function of the history and the batch
+/// alone, never of cache or policy state, so picking can be hoisted out
+/// of the service loop).
+///
+/// The returned permutation reproduces the old remove-based drain exactly:
+///
+/// * FCFS serviced index 0 repeatedly → arrival order.
+/// * SJF picked the *first* minimum by total size and removed it; repeated
+///   first-min extraction is precisely a stable sort by size.
+/// * HRV picked the first maximum of `relative_value` (strict `>` keeps
+///   the earliest), re-deriving every pending value per pick — O(q²)
+///   bundle walks per batch. Values only change when the history does, so
+///   this caches them and, after recording serviced bundle `B`, refreshes
+///   only pending bundles sharing a file with `B`: under [`ValueFn::Count`]
+///   (tick-independent) a bundle's relative value reads its own entry's
+///   count and its files' degrees, and `record(B)` touches only `B`'s
+///   count and `B`'s files' degrees. Unchanged inputs reproduce bitwise-
+///   identical `f64`s, so order is preserved exactly. Any other value
+///   function falls back to refreshing every cached value (decay makes
+///   values tick-dependent), still without the quadratic `Vec::remove`.
+fn drain_order(
+    discipline: Discipline,
+    history: &mut RequestHistory,
+    pending: &[(u64, Bundle)],
+    catalog: &FileCatalog,
+) -> Vec<usize> {
+    let q = pending.len();
+    let order = match discipline {
+        Discipline::Fcfs => (0..q).collect(),
+        Discipline::ShortestJobFirst => {
+            let sizes: Vec<u64> = pending.iter().map(|(_, b)| b.total_size(catalog)).collect();
+            let mut ix: Vec<usize> = (0..q).collect();
+            ix.sort_by_key(|&i| sizes[i]); // stable: ties stay in arrival order
+            ix
+        }
+        Discipline::HighestRelativeValue => {
+            let incremental = matches!(history.value_fn(), ValueFn::Count);
+            let mut rv: Vec<f64> = pending
+                .iter()
+                .map(|(_, b)| history.relative_value(b, catalog))
+                .collect();
+            let mut alive = vec![true; q];
+            let mut order = Vec::with_capacity(q);
+            for _ in 0..q {
+                let mut best = usize::MAX;
+                let mut best_rv = f64::NEG_INFINITY;
+                for (i, &v) in rv.iter().enumerate() {
+                    // First-max-wins in arrival order, matching the old
+                    // scan's strict `>` over the remove-compacted vector.
+                    if alive[i] && v > best_rv {
+                        best = i;
+                        best_rv = v;
+                    }
+                }
+                alive[best] = false;
+                let picked = &pending[best].1;
+                history.record(picked);
+                if incremental {
+                    let touched: HashSet<_> = picked.iter().collect();
+                    for (i, (_, b)) in pending.iter().enumerate() {
+                        if alive[i] && b.iter().any(|f| touched.contains(&f)) {
+                            rv[i] = history.relative_value(b, catalog);
+                        }
+                    }
+                } else {
+                    for (i, (_, b)) in pending.iter().enumerate() {
+                        if alive[i] {
+                            rv[i] = history.relative_value(b, catalog);
+                        }
+                    }
+                }
+                order.push(best);
+            }
+            return order; // history already advanced per pick
+        }
+    };
+    for &i in &order {
+        history.record(&pending[i].1);
+    }
+    order
 }
 
 #[cfg(test)]
@@ -329,5 +401,146 @@ mod tests {
         assert_eq!(Discipline::Fcfs.label(), "fcfs");
         assert_eq!(Discipline::HighestRelativeValue.label(), "hrv");
         assert_eq!(Discipline::ShortestJobFirst.label(), "sjf");
+    }
+
+    /// The pre-rewrite drain, kept verbatim as the reference the fast
+    /// drain is pinned against: re-scan the whole pending batch per pick
+    /// (recomputing every relative value for HRV) and `Vec::remove` the
+    /// winner.
+    fn reference_run_queued_observed(
+        policy: &mut dyn CachePolicy,
+        trace: &Trace,
+        run: &RunConfig,
+        queue: &QueueConfig,
+        obs: &Obs,
+    ) -> Metrics {
+        assert!(queue.queue_len >= 1, "queue length must be at least 1");
+        if obs.is_enabled() {
+            policy.attach_obs(obs.clone());
+        }
+        policy.prepare(&trace.requests);
+        let catalog = &trace.catalog;
+        let mut cache = CacheState::new(run.cache_size);
+        let mut metrics = match run.series_window {
+            Some(w) => Metrics::with_series_window(w),
+            None => Metrics::new(),
+        };
+        let mut ranking_history = RequestHistory::new();
+        let mut processed: u64 = 0;
+        let mut pending: Vec<(u64, Bundle)> = Vec::with_capacity(queue.queue_len);
+        let mut input = trace
+            .requests
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, b)| (i as u64, b));
+        loop {
+            while pending.len() < queue.queue_len {
+                match input.next() {
+                    Some(b) => pending.push(b),
+                    None => break,
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+            obs.incr("queue.batches");
+            while !pending.is_empty() {
+                let idx = match queue.discipline {
+                    Discipline::Fcfs => 0,
+                    Discipline::ShortestJobFirst => pending
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (_, b))| b.total_size(catalog))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0),
+                    Discipline::HighestRelativeValue => {
+                        let mut best = 0;
+                        let mut best_rv = ranking_history.relative_value(&pending[0].1, catalog);
+                        for (i, (_, bundle)) in pending.iter().enumerate().skip(1) {
+                            let rv = ranking_history.relative_value(bundle, catalog);
+                            if rv > best_rv {
+                                best = i;
+                                best_rv = rv;
+                            }
+                        }
+                        best
+                    }
+                };
+                let (arrived, bundle) = pending.remove(idx);
+                obs.set_now(processed);
+                let outcome = policy.handle(&bundle, &mut cache, catalog);
+                debug_assert!(cache.check_invariants());
+                if obs.is_enabled() {
+                    obs.event(
+                        "job",
+                        &[
+                            ("i", Field::u(processed)),
+                            ("arrived", Field::u(arrived)),
+                            ("hit", Field::b(outcome.hit)),
+                            ("serviced", Field::b(outcome.serviced)),
+                        ],
+                    );
+                }
+                if processed >= run.warmup_jobs {
+                    metrics.record(&outcome);
+                }
+                processed += 1;
+                ranking_history.record(&bundle);
+            }
+        }
+        metrics
+    }
+
+    #[test]
+    fn fast_drain_is_byte_identical_to_reference() {
+        // Seeded Zipf workload with shared files across bundles, so HRV
+        // sees plenty of value ties, shared-degree coupling, and duplicate
+        // bundles — everything that could perturb the pick order.
+        let w = fbc_workload::Workload::generate(fbc_workload::WorkloadConfig {
+            num_files: 60,
+            pool_requests: 25,
+            jobs: 300,
+            files_per_request: (1, 5),
+            popularity: fbc_workload::Popularity::zipf(),
+            seed: 42,
+            ..fbc_workload::WorkloadConfig::default()
+        });
+        let t = Trace::new(w.catalog, w.jobs);
+        // Capacity low enough that replacement decisions happen constantly.
+        let run_cfg = RunConfig::new(t.catalog.total_bytes() / 10);
+        for discipline in [
+            Discipline::Fcfs,
+            Discipline::ShortestJobFirst,
+            Discipline::HighestRelativeValue,
+        ] {
+            for queue_len in [1, 2, 7, 32, 301] {
+                let q = QueueConfig {
+                    queue_len,
+                    discipline,
+                };
+                let ref_obs = Obs::enabled();
+                let mut ref_p = OptFileBundle::new();
+                let reference =
+                    reference_run_queued_observed(&mut ref_p, &t, &run_cfg, &q, &ref_obs);
+                let fast_obs = Obs::enabled();
+                let mut fast_p = OptFileBundle::new();
+                let fast = run_queued_observed(&mut fast_p, &t, &run_cfg, &q, &fast_obs);
+                assert_eq!(
+                    reference,
+                    fast,
+                    "metrics diverged: {} q={queue_len}",
+                    discipline.label()
+                );
+                // Byte-identical event traces: same jobs, same service
+                // order, same hits, same batch boundaries.
+                assert_eq!(
+                    ref_obs.jsonl(),
+                    fast_obs.jsonl(),
+                    "trace diverged: {} q={queue_len}",
+                    discipline.label()
+                );
+            }
+        }
     }
 }

@@ -151,6 +151,7 @@ fn single_node_multi_grid_equals_engine() {
             mss: MssConfig::default(),
             link: LinkConfig::default(),
             retry: RetryPolicy::default(),
+            full_response_log: false,
         },
     );
     assert_eq!(multi.overall.completed, single.completed);
