@@ -175,17 +175,36 @@ fn main() {
         });
     }
 
-    let mut table = Table::new(["shards", "jobs/s", "speedup", "byte miss", "wall ms"]);
+    // `miss Δ` is the byte-miss-ratio increase over the 1-shard run: the
+    // quality price of splitting the cache `N` ways. A speedup from this
+    // table quoted without its miss Δ is comparing unequal caches.
+    let base_miss = rows.first().map_or(0.0, |r| r.byte_miss);
+    let mut table = Table::new([
+        "shards",
+        "jobs/s",
+        "speedup",
+        "byte miss",
+        "miss Δ",
+        "wall ms",
+    ]);
     for r in &rows {
         table.add_row([
             r.shards.to_string(),
             format!("{:.0}", r.jobs_per_sec),
             format!("{:.2}x", r.speedup),
             format!("{:.4}", r.byte_miss),
+            format!("{:+.4}", r.byte_miss - base_miss),
             format!("{:.0}", r.elapsed_ns as f64 / 1e6),
         ]);
     }
     print!("{}", table.to_ascii());
+    println!(
+        "
+not capacity-fair: each shard caches out of capacity/N, so rows differ in
+         per-shard capacity as well as shard count — the miss Δ column is the hit-rate
+         cost of that split and must be quoted alongside any speedup. A capacity-fair
+         N-shard comparison would hold capacity/N fixed (N times the total bytes)."
+    );
 
     let at = |shards: usize| rows.iter().find(|r| r.shards == shards);
     let headline_jps = at(4).map_or(0.0, |r| r.jobs_per_sec);
@@ -237,11 +256,12 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         body.push_str(&format!(
             "      {{\"shards\": {}, \"jobs_per_sec\": {:.1}, \"speedup\": {:.2}, \
-             \"byte_miss_ratio\": {:.4}}}{}\n",
+             \"byte_miss_ratio\": {:.4}, \"byte_miss_delta_vs_single\": {:.4}}}{}\n",
             r.shards,
             r.jobs_per_sec,
             r.speedup,
             r.byte_miss,
+            r.byte_miss - base_miss,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

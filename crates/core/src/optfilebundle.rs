@@ -27,6 +27,8 @@ use crate::index::SupportIndex;
 use crate::instance::FbcInstance;
 use crate::policy::{CachePolicy, RequestOutcome};
 use crate::resident::ResidentInstance;
+#[cfg(any(test, feature = "reference-kernels"))]
+use crate::select::{opt_cache_select_lazy_with_scratch, LazySelectScratch};
 use crate::select::{opt_cache_select_with_scratch, GreedyVariant, SelectOptions, SelectScratch};
 use crate::types::{Bytes, FileId};
 use fbc_obs::{Field, Obs};
@@ -134,6 +136,12 @@ struct DecisionScratch {
     file_bufs: Vec<Vec<u32>>,
     /// The incremental selection kernel's reusable state.
     select: SelectScratch,
+    /// The previous-generation (lazy version-stamped) kernel's scratch —
+    /// the rebuild/reference path runs the whole pre-resident pipeline,
+    /// select kernel included, so speedup measurements compare complete
+    /// generations rather than a mixed stack.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    select_lazy: LazySelectScratch,
 }
 
 /// The `OptFileBundle` replacement policy (paper Algorithm 2).
@@ -383,6 +391,31 @@ impl OptFileBundle {
             return (Vec::new(), Vec::new());
         }
 
+        // Full/Window + shared credit (the paper's default greedy) run the
+        // selection *in place* over the resident state: candidate lists in
+        // these modes are recency prefixes, so the incrementally maintained
+        // per-entry file orders reproduce the instance path's first-touch
+        // interning permutation exactly — no instance is built at all.
+        // `CacheSupported` (non-prefix candidates) and the other variants /
+        // partial enumeration keep the instance path below.
+        if config.enumeration_k.is_none()
+            && config.variant == GreedyVariant::SharedCredit
+            && matches!(
+                config.history_mode,
+                HistoryMode::Full | HistoryMode::Window(_)
+            )
+        {
+            let build_span = obs.span("ofb.instance_build");
+            resident.prepare_decision(catalog, history.total_requests(), history.value_fn());
+            drop(build_span);
+            let select_span = obs.span("ofb.greedy_select");
+            let single = resident.select_fast(catalog, select_capacity);
+            drop(select_span);
+            let (retained, prefetch) = resident.decision_outputs(cache, config.prefetch, single);
+            obs.observe("ofb.retained_files", retained.len() as u64);
+            return (retained, prefetch);
+        }
+
         // Fill the dense instance from the persistent state, recycling the
         // previous decision's buffers.
         let build_span = obs.span("ofb.instance_build");
@@ -497,7 +530,8 @@ impl OptFileBundle {
             sizes,
             degrees,
             file_bufs,
-            select,
+            select_lazy,
+            ..
         } = scratch;
         local_of.clear();
         global_of.clear();
@@ -541,13 +575,13 @@ impl OptFileBundle {
         let select_span = obs.span("ofb.greedy_select");
         let selection = match config.enumeration_k {
             Some(k) => crate::enumerate::opt_cache_select_enumerated(&inst, k.min(2)),
-            None => opt_cache_select_with_scratch(
+            None => opt_cache_select_lazy_with_scratch(
                 &inst,
                 &SelectOptions {
                     variant: config.variant,
                     max_single_fallback: true,
                 },
-                select,
+                select_lazy,
             ),
         };
         drop(select_span);
@@ -625,12 +659,12 @@ impl Default for OptFileBundle {
     }
 }
 
-impl CachePolicy for OptFileBundle {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn handle(
+impl OptFileBundle {
+    /// The full Algorithm 2 servicing pipeline for one arrival, minus the
+    /// per-request observability flush (`RequestOutcome::record_obs`), which
+    /// the callers — `handle` and `decide_retained_batch` — perform so the
+    /// flush strategy can differ without touching the decision logic.
+    fn handle_inner(
         &mut self,
         bundle: &Bundle,
         cache: &mut CacheState,
@@ -646,14 +680,12 @@ impl CachePolicy for OptFileBundle {
         if requested_bytes > cache.capacity() {
             outcome.serviced = false;
             self.record(bundle);
-            outcome.record_obs(&self.obs);
             return outcome;
         }
 
         if cache.supports(bundle) {
             outcome.hit = true;
             self.record(bundle);
-            outcome.record_obs(&self.obs);
             return outcome;
         }
 
@@ -729,7 +761,6 @@ impl CachePolicy for OptFileBundle {
                 // Only possible when pinned files block the space.
                 outcome.serviced = false;
                 self.record(bundle);
-                outcome.record_obs(&self.obs);
                 return outcome;
             }
 
@@ -754,9 +785,9 @@ impl CachePolicy for OptFileBundle {
                 }
             }
 
-            if self.obs.is_enabled() {
-                self.obs.incr("ofb.replacements");
-                self.obs.event(
+            self.obs.batch(|b| {
+                b.incr("ofb.replacements");
+                b.event(
                     "decision",
                     &[
                         ("retained", Field::u(retained_files)),
@@ -765,7 +796,7 @@ impl CachePolicy for OptFileBundle {
                         ("prefetch_planned", Field::u(planned_prefetch)),
                     ],
                 );
-            }
+            });
         } else {
             // Plain cold fetch (Fig. 4a): space is available.
             for f in &missing {
@@ -778,8 +809,71 @@ impl CachePolicy for OptFileBundle {
 
         // Step 4: update L(R).
         self.record(bundle);
+        outcome
+    }
+
+    /// Batched multi-request admission: service `bundles` in arrival order,
+    /// appending one outcome per bundle to `out`.
+    ///
+    /// Determinism contract: the result — cache contents, every outcome
+    /// field, and the observability trace — is bit-identical to calling
+    /// `handle` once per bundle, **by construction**: each arrival observes
+    /// exactly the cache and history state left by its predecessor, and the
+    /// per-request counter flush happens in the same order. What a batch
+    /// amortizes is the per-call overhead around the pipeline: one virtual
+    /// dispatch and one obs-enabled check for the whole run instead of one
+    /// per arrival, with the decision scratch staying hot across the run.
+    /// Callers (the sim queue drain, the grid arrival loop) additionally
+    /// hoist their own per-job bookkeeping out of the loop.
+    pub fn decide_retained_batch(
+        &mut self,
+        bundles: &[&Bundle],
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+        out: &mut Vec<RequestOutcome>,
+    ) {
+        out.reserve(bundles.len());
+        if self.obs.is_enabled() {
+            for bundle in bundles {
+                let outcome = self.handle_inner(bundle, cache, catalog);
+                // Flushed per request, in order: the JSONL trace interleaves
+                // decision/admit/evict events with each request's counters,
+                // so deferring flushes across arrivals would reorder it.
+                outcome.record_obs(&self.obs);
+                out.push(outcome);
+            }
+        } else {
+            for bundle in bundles {
+                out.push(self.handle_inner(bundle, cache, catalog));
+            }
+        }
+    }
+}
+
+impl CachePolicy for OptFileBundle {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        let outcome = self.handle_inner(bundle, cache, catalog);
         outcome.record_obs(&self.obs);
         outcome
+    }
+
+    fn handle_batch(
+        &mut self,
+        bundles: &[&Bundle],
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+        out: &mut Vec<RequestOutcome>,
+    ) {
+        self.decide_retained_batch(bundles, cache, catalog, out);
     }
 
     fn attach_obs(&mut self, obs: Obs) {

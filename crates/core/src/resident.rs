@@ -38,9 +38,11 @@
 //! byte-equality sweeps (`tests/resident_equivalence.rs`).
 
 use crate::bundle::Bundle;
+use crate::cache::CacheState;
 use crate::catalog::FileCatalog;
 use crate::history::{HistoryEntry, RequestHistory, ValueFn};
 use crate::optfilebundle::HistoryMode;
+use crate::select::{ord_key, rv_of, ReqState};
 use crate::types::{Bytes, FileId};
 use rustc_hash::FxHashMap;
 use std::collections::hash_map::Entry;
@@ -68,6 +70,18 @@ pub struct ResidentInstance {
     resident: Vec<bool>,
     /// File → entries using it (the transpose of the entry CSR).
     adj: Vec<Vec<u32>>,
+    /// pid → the most recently *recorded* entry containing it, or [`NONE`]
+    /// for files never part of a recorded bundle (interned by `on_insert`).
+    /// Because Full/Window candidate lists are recency prefixes, the owner
+    /// of any candidate's file is itself a candidate, and the rebuild
+    /// path's first-touch local index of a file is exactly the lexicographic
+    /// key `(recency rank of owner, position in owner's bundle)` — the sort
+    /// key of the incrementally maintained per-entry file orders.
+    owner: Vec<u32>,
+    /// pid → its index within the owner's canonical bundle order.
+    owner_pos: Vec<u32>,
+    /// pid → epoch mark "loaded by the current decision's greedy loop".
+    loaded_stamp: Vec<u32>,
 
     // ---- entries (indexed by eid) ----
     /// Canonical bundle → eid (hit only by `on_record`).
@@ -100,6 +114,28 @@ pub struct ResidentInstance {
     /// arbitrary order, with a position map for O(1) removal.
     supported: Vec<u32>,
     supported_pos: Vec<u32>,
+    /// CSR payload parallel to `entry_files`: the entry's pids sorted in
+    /// ascending *decision-local* order (the owner key above). Maintained
+    /// lazily: `on_record` marks affected entries dirty, and the next
+    /// decision that uses a dirty candidate re-sorts its slice.
+    entry_sorted: Vec<u32>,
+    /// Cached `Σ s'(f)` over `entry_sorted` order with true catalog sizes
+    /// (no incoming overlay) — the candidate's full adjusted size. Valid
+    /// only while `order_dirty` is clear; assumes catalog sizes are stable
+    /// across a run (they are: the catalog is immutable once built).
+    entry_adjusted: Vec<f64>,
+    /// Cached `Σ s(f)` companion of `entry_adjusted`.
+    entry_bytes: Vec<u64>,
+    /// Whether `entry_sorted`/`entry_adjusted`/`entry_bytes` must be
+    /// rebuilt before the entry's next use as a candidate.
+    order_dirty: Vec<bool>,
+    /// eid → epoch at which `rank_val` was stamped (eid is a candidate).
+    rank_stamp: Vec<u32>,
+    /// eid → its rank (index) in this decision's candidate list.
+    rank_val: Vec<u32>,
+    /// eid → epoch mark "contains an incoming file, cached sums do not
+    /// apply this decision" (the size-0 overlay invalidation).
+    eff_stamp: Vec<u32>,
 
     // ---- per-decision epoch-stamped scratch ----
     /// Decision epoch; a stamp equal to `epoch` means "set this decision".
@@ -119,6 +155,35 @@ pub struct ResidentInstance {
     touched: Vec<u32>,
     /// The assembled candidate list (eids, most recent first).
     candidates: Vec<u32>,
+    /// Interned pids of the incoming bundle (stamped by
+    /// [`assemble_candidates`](Self::assemble_candidates)).
+    incoming_pids: Vec<u32>,
+
+    // ---- in-place kernel scratch (indexed by candidate rank) ----
+    /// Packed per-candidate kernel state — marginal, priority and value,
+    /// indexed by candidate rank.
+    kr_req: Vec<ReqState>,
+    /// Dense total-order images (`ord_key`) of the candidate priorities —
+    /// 0 marks taken. Full/Window decisions are capacity-starved (most
+    /// candidates never fit), so instead of a heap that pops every
+    /// infeasible candidate individually, each greedy round runs one
+    /// branchless feasibility-masked argmax scan over this array and
+    /// `kr_mb`. Rounds ≈ selections (a couple dozen), not ≈ candidates.
+    kr_key: Vec<u64>,
+    /// Dense mirror of `kr_req[r].mb` so the feasibility mask in the
+    /// argmax scan reads a flat `u64` lane instead of striding `ReqState`.
+    kr_mb: Vec<u64>,
+    /// Dense epoch stamps deduplicating refreshes within one greedy step.
+    kr_touched: Vec<u32>,
+    /// Candidates already selected this decision (rank-indexed).
+    kr_taken: Vec<bool>,
+    /// Selected ranks, in selection order.
+    kr_chosen: Vec<u32>,
+    /// Union of the selected candidates' pids, in load order (re-sorted to
+    /// ascending decision-local order by `decision_outputs`).
+    union_pids: Vec<u32>,
+    /// Pids loaded by the current selection step.
+    newly_loaded: Vec<u32>,
 }
 
 impl Default for ResidentInstance {
@@ -129,6 +194,9 @@ impl Default for ResidentInstance {
             degrees: Vec::new(),
             resident: Vec::new(),
             adj: Vec::new(),
+            owner: Vec::new(),
+            owner_pos: Vec::new(),
+            loaded_stamp: Vec::new(),
             ids: FxHashMap::default(),
             bundles: Vec::new(),
             entry_files: Vec::new(),
@@ -144,6 +212,13 @@ impl Default for ResidentInstance {
             head: NONE,
             supported: Vec::new(),
             supported_pos: Vec::new(),
+            entry_sorted: Vec::new(),
+            entry_adjusted: Vec::new(),
+            entry_bytes: Vec::new(),
+            order_dirty: Vec::new(),
+            rank_stamp: Vec::new(),
+            rank_val: Vec::new(),
+            eff_stamp: Vec::new(),
             epoch: 0,
             file_stamp: Vec::new(),
             file_local: Vec::new(),
@@ -152,6 +227,15 @@ impl Default for ResidentInstance {
             bonus: Vec::new(),
             touched: Vec::new(),
             candidates: Vec::new(),
+            incoming_pids: Vec::new(),
+            kr_req: Vec::new(),
+            kr_key: Vec::new(),
+            kr_mb: Vec::new(),
+            kr_touched: Vec::new(),
+            kr_taken: Vec::new(),
+            kr_chosen: Vec::new(),
+            union_pids: Vec::new(),
+            newly_loaded: Vec::new(),
         }
     }
 }
@@ -201,6 +285,9 @@ impl ResidentInstance {
                 self.degrees.push(0);
                 self.resident.push(false);
                 self.adj.push(Vec::new());
+                self.owner.push(NONE);
+                self.owner_pos.push(0);
+                self.loaded_stamp.push(0);
                 self.file_stamp.push(0);
                 self.file_local.push(0);
                 self.incoming_stamp.push(0);
@@ -252,6 +339,7 @@ impl ResidentInstance {
                 self.degrees[pid as usize] += 1;
                 self.adj[pid as usize].push(e);
                 self.entry_files.push(pid);
+                self.entry_sorted.push(pid);
                 if self.resident[pid as usize] {
                     rcount += 1;
                 }
@@ -268,6 +356,12 @@ impl ResidentInstance {
             self.next.push(NONE);
             self.bonus_stamp.push(0);
             self.bonus.push(0);
+            self.entry_adjusted.push(0.0);
+            self.entry_bytes.push(0);
+            self.order_dirty.push(true);
+            self.rank_stamp.push(0);
+            self.rank_val.push(0);
+            self.eff_stamp.push(0);
             if rcount == blen {
                 self.supported_pos.push(self.supported.len() as u32);
                 self.supported.push(e);
@@ -284,6 +378,25 @@ impl ResidentInstance {
         self.last_seen[i] = entry.last_seen;
         self.priority[i] = entry.priority;
         self.push_front(eid);
+        // Owner maintenance: this entry is now the most recently recorded
+        // holder of each of its files. Any entry sharing a file with it may
+        // see an owner change, an owner rank move, or (on a first record) a
+        // degree change — all three invalidate the cached per-entry order
+        // and adjusted sums, so dirty the whole file-sharing neighbourhood.
+        // Entries sharing no file are unaffected: their owners keep their
+        // relative recency order, which is all the cached key encodes.
+        let (start, end) = (
+            self.entry_offsets[i] as usize,
+            self.entry_offsets[i + 1] as usize,
+        );
+        for k in start..end {
+            let pid = self.entry_files[k] as usize;
+            self.owner[pid] = eid;
+            self.owner_pos[pid] = (k - start) as u32;
+            for ai in 0..self.adj[pid].len() {
+                self.order_dirty[self.adj[pid][ai] as usize] = true;
+            }
+        }
     }
 
     /// Marks `file` resident, updating the resident counters (and the
@@ -350,6 +463,9 @@ impl ResidentInstance {
             self.file_stamp.iter_mut().for_each(|s| *s = 0);
             self.incoming_stamp.iter_mut().for_each(|s| *s = 0);
             self.bonus_stamp.iter_mut().for_each(|s| *s = 0);
+            self.loaded_stamp.iter_mut().for_each(|s| *s = 0);
+            self.rank_stamp.iter_mut().for_each(|s| *s = 0);
+            self.eff_stamp.iter_mut().for_each(|s| *s = 0);
             self.epoch = 0;
         }
         self.epoch += 1;
@@ -370,11 +486,14 @@ impl ResidentInstance {
         self.begin_epoch();
         let epoch = self.epoch;
         self.candidates.clear();
+        self.incoming_pids.clear();
         // Stamp the incoming bundle's interned files: the size-0 overlay of
-        // `fill_instance` and the bonus pass below both key off this.
+        // `fill_instance` / the fast decision path and the bonus pass below
+        // all key off this.
         for f in incoming.iter() {
             if let Some(&pid) = self.file_of.get(&f) {
                 self.incoming_stamp[pid as usize] = epoch;
+                self.incoming_pids.push(pid);
             }
         }
         match mode {
@@ -498,6 +617,327 @@ impl ResidentInstance {
             }
             requests.push((files, self.value_of(eid, now, value_fn)));
         }
+    }
+
+    /// Prepares the in-place Full/Window decision kernel after
+    /// [`assemble_candidates`](Self::assemble_candidates): stamps candidate
+    /// ranks, refreshes lazily invalidated per-entry orders and adjusted
+    /// sums, and fills the rank-indexed value/marginal/priority tables —
+    /// everything `fill_instance` + `FbcInstance` construction used to
+    /// produce, without building the instance.
+    ///
+    /// Only valid for `Full`/`Window` candidate lists: those are recency
+    /// *prefixes*, which is what guarantees every candidate file's owner is
+    /// itself a (stamped) candidate. `CacheSupported` keeps the instance
+    /// path.
+    pub fn prepare_decision(&mut self, catalog: &FileCatalog, now: u64, value_fn: ValueFn) {
+        let epoch = self.epoch;
+        let ncand = self.candidates.len();
+        for r in 0..ncand {
+            let e = self.candidates[r] as usize;
+            self.rank_stamp[e] = epoch;
+            self.rank_val[e] = r as u32;
+        }
+        // Candidates containing an incoming file get the size-0 overlay:
+        // their cached full-size sums do not apply this decision.
+        for ii in 0..self.incoming_pids.len() {
+            let pid = self.incoming_pids[ii] as usize;
+            for ai in 0..self.adj[pid].len() {
+                let e = self.adj[pid][ai] as usize;
+                if self.rank_stamp[e] == epoch {
+                    self.eff_stamp[e] = epoch;
+                }
+            }
+        }
+        // Length-only reset for the records (the loop below overwrites
+        // every one); the stamp/taken arrays are cleared — both one small
+        // memset — because the kernel reads them before first write.
+        self.kr_req.resize(ncand, ReqState::default());
+        self.kr_touched.clear();
+        self.kr_touched.resize(ncand, 0);
+        self.kr_taken.clear();
+        self.kr_taken.resize(ncand, false);
+        self.kr_key.clear();
+        self.kr_key.resize(ncand, 0);
+        self.kr_mb.clear();
+        self.kr_mb.resize(ncand, 0);
+        self.kr_chosen.clear();
+        self.union_pids.clear();
+
+        for r in 0..ncand {
+            let e = self.candidates[r] as usize;
+            if self.order_dirty[e] {
+                self.rebuild_entry_order(catalog, e);
+            }
+            let (adjusted, bytes) = if self.eff_stamp[e] == epoch {
+                // Recompute with the incoming files' sizes overlaid to 0 —
+                // the 0-size terms contribute exactly the `+0.0` the
+                // instance path's sum would, in the same order.
+                self.entry_sums(catalog, e, true)
+            } else {
+                (self.entry_adjusted[e], self.entry_bytes[e])
+            };
+            let value = self.value_of(e, now, value_fn);
+            let rv = rv_of(value, adjusted);
+            self.kr_req[r] = ReqState {
+                mb: bytes,
+                rv,
+                value,
+            };
+            self.kr_key[r] = ord_key(rv);
+            self.kr_mb[r] = bytes;
+        }
+    }
+
+    /// Re-sorts a dirty entry's file slice into ascending decision-local
+    /// order (the owner key) and recomputes its cached full-size sums.
+    fn rebuild_entry_order(&mut self, catalog: &FileCatalog, e: usize) {
+        let start = self.entry_offsets[e] as usize;
+        let end = self.entry_offsets[e + 1] as usize;
+        {
+            let owner = &self.owner;
+            let owner_pos = &self.owner_pos;
+            let rank_val = &self.rank_val;
+            #[cfg(debug_assertions)]
+            let (rank_stamp, epoch) = (&self.rank_stamp, self.epoch);
+            self.entry_sorted[start..end].sort_unstable_by_key(|&pid| {
+                let o = owner[pid as usize] as usize;
+                #[cfg(debug_assertions)]
+                debug_assert_eq!(
+                    rank_stamp[o], epoch,
+                    "owner of a candidate's file must itself be a candidate"
+                );
+                (rank_val[o], owner_pos[pid as usize])
+            });
+        }
+        let (adjusted, bytes) = self.entry_sums(catalog, e, false);
+        self.entry_adjusted[e] = adjusted;
+        self.entry_bytes[e] = bytes;
+        self.order_dirty[e] = false;
+    }
+
+    /// `(Σ s'(f), Σ s(f))` over the entry's files in ascending
+    /// decision-local (`entry_sorted`) order — term-for-term the sums the
+    /// instance path's `memoise_adjusted`/`request_sizes` computed. With
+    /// `overlay`, incoming files count as size 0.
+    #[inline]
+    fn entry_sums(&self, catalog: &FileCatalog, e: usize, overlay: bool) -> (f64, u64) {
+        let epoch = self.epoch;
+        let mut adjusted = 0.0_f64;
+        let mut bytes = 0_u64;
+        for k in self.entry_offsets[e] as usize..self.entry_offsets[e + 1] as usize {
+            let pid = self.entry_sorted[k] as usize;
+            let sz = if overlay && self.incoming_stamp[pid] == epoch {
+                0
+            } else {
+                catalog.size(self.file_ids[pid])
+            };
+            bytes += sz;
+            adjusted += sz as f64 / self.degrees[pid].max(1) as f64;
+        }
+        (adjusted, bytes)
+    }
+
+    /// Runs the shared-credit greedy (plus Algorithm 1's single-request
+    /// fallback) directly over the prepared resident state — the in-place
+    /// mirror of `opt_cache_select_with_scratch` on the instance the
+    /// rebuild path would have built. Returns `Some(rank)` when the single
+    /// fallback strictly beats the greedy set (the `max_of` tie-break),
+    /// `None` when the greedy selection (left in `kr_chosen`/`union_pids`)
+    /// wins.
+    pub fn select_fast(&mut self, catalog: &FileCatalog, capacity: Bytes) -> Option<usize> {
+        let epoch = self.epoch;
+        let ncand = self.candidates.len();
+
+        // Step 3 fallback first, over the *initial* marginals (the memoised
+        // request sizes of the instance path): earliest maximum value among
+        // the feasible candidates.
+        // `min_positive_mb`/`free_candidates` mirror the select kernel's
+        // early-exit bound: a monotone lower bound on every positive
+        // marginal, and an exact count of zero-marginal (always feasible,
+        // hence never parked) candidates.
+        let mut single: Option<usize> = None;
+        let mut min_positive_mb: u64 = u64::MAX;
+        let mut free_candidates: usize = 0;
+        for r in 0..ncand {
+            let mb = self.kr_req[r].mb;
+            if mb == 0 {
+                free_candidates += 1;
+            } else if mb < min_positive_mb {
+                min_positive_mb = mb;
+            }
+            if mb <= capacity {
+                match single {
+                    Some(b) if self.kr_req[b].value >= self.kr_req[r].value => {}
+                    _ => single = Some(r),
+                }
+            }
+        }
+
+        let mut remaining = capacity;
+        let mut value_sum = 0.0_f64;
+        let mut step: u32 = 0;
+        loop {
+            // Early exit skipping the terminal drain — same argument as
+            // the select kernel: nothing resident is feasible now, and
+            // with no takes possible no marginal ever changes again.
+            if free_candidates == 0 && remaining < min_positive_mb {
+                break;
+            }
+            // One greedy round = the reference heap's pop-until-feasible
+            // run, fused into a feasibility-masked argmax. Parking is
+            // unobservable: a parked candidate re-enters only through the
+            // adjacency refresh, which rewrites its priority and marginal
+            // wholesale — identically whether or not it was removed from a
+            // heap first — and an unparked-but-infeasible candidate can
+            // never be taken later because `remaining` only shrinks. So
+            // the round's take is exactly the feasibility-masked maximum
+            // of the reference pop order's key, `(rv desc, rank asc)`.
+            let mut best = 0_u64;
+            for (&k, &m) in self.kr_key.iter().zip(self.kr_mb.iter()) {
+                let masked = if m <= remaining { k } else { 0 };
+                best = best.max(masked);
+            }
+            if best == 0 {
+                break; // no feasible candidate left — terminal drain
+            }
+            let mut r = usize::MAX;
+            for i in 0..ncand {
+                if self.kr_key[i] == best && self.kr_mb[i] <= remaining {
+                    r = i;
+                    break;
+                }
+            }
+            debug_assert!(r < ncand, "masked maximum must be attained");
+            if self.kr_req[r].mb == 0 {
+                free_candidates -= 1;
+            }
+            self.kr_key[r] = 0;
+            self.kr_taken[r] = true;
+            self.kr_chosen.push(r as u32);
+            value_sum += self.kr_req[r].value;
+            let e = self.candidates[r] as usize;
+            self.newly_loaded.clear();
+            for k in self.entry_offsets[e] as usize..self.entry_offsets[e + 1] as usize {
+                let pid = self.entry_sorted[k] as usize;
+                if self.loaded_stamp[pid] != epoch {
+                    self.loaded_stamp[pid] = epoch;
+                    remaining -= if self.incoming_stamp[pid] == epoch {
+                        0
+                    } else {
+                        catalog.size(self.file_ids[pid])
+                    };
+                    self.union_pids.push(pid as u32);
+                    self.newly_loaded.push(pid as u32);
+                }
+            }
+
+            // Refresh the candidates adjacent to a freshly loaded file,
+            // exactly as the select kernel does over its CSR.
+            step += 1;
+            for li in 0..self.newly_loaded.len() {
+                let pid = self.newly_loaded[li] as usize;
+                for ai in 0..self.adj[pid].len() {
+                    let e2 = self.adj[pid][ai] as usize;
+                    if self.rank_stamp[e2] != epoch {
+                        continue; // not a candidate this decision
+                    }
+                    let r2 = self.rank_val[e2] as usize;
+                    if self.kr_touched[r2] == step || self.kr_taken[r2] {
+                        continue;
+                    }
+                    self.kr_touched[r2] = step;
+                    let mut mb = 0_u64;
+                    let mut ma = 0.0_f64;
+                    for k in self.entry_offsets[e2] as usize..self.entry_offsets[e2 + 1] as usize {
+                        let p = self.entry_sorted[k] as usize;
+                        if self.loaded_stamp[p] == epoch {
+                            continue;
+                        }
+                        let sz = if self.incoming_stamp[p] == epoch {
+                            0
+                        } else {
+                            catalog.size(self.file_ids[p])
+                        };
+                        mb += sz;
+                        ma += sz as f64 / self.degrees[p].max(1) as f64;
+                    }
+                    if mb == 0 {
+                        if self.kr_req[r2].mb != 0 {
+                            free_candidates += 1;
+                        }
+                    } else if mb < min_positive_mb {
+                        min_positive_mb = mb;
+                    }
+                    let rv = rv_of(self.kr_req[r2].value, ma);
+                    debug_assert!(
+                        ord_key(rv) >= self.kr_key[r2],
+                        "refresh only raises priorities"
+                    );
+                    self.kr_req[r2].mb = mb;
+                    self.kr_req[r2].rv = rv;
+                    self.kr_key[r2] = ord_key(rv);
+                    self.kr_mb[r2] = mb;
+                }
+            }
+        }
+
+        match single {
+            Some(s) if self.kr_req[s].value > value_sum => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Materialises the decision's `(retained, prefetch)` file lists from
+    /// the winning selection — byte-identical to the instance path's
+    /// `selection.files → global → sort` and ascending-local prefetch scan.
+    pub fn decision_outputs(
+        &mut self,
+        cache: &CacheState,
+        prefetch_enabled: bool,
+        single: Option<usize>,
+    ) -> (Vec<FileId>, Vec<FileId>) {
+        let epoch = self.epoch;
+        if let Some(r) = single {
+            let e = self.candidates[r] as usize;
+            self.union_pids.clear();
+            let (start, end) = (
+                self.entry_offsets[e] as usize,
+                self.entry_offsets[e + 1] as usize,
+            );
+            self.union_pids
+                .extend_from_slice(&self.entry_sorted[start..end]);
+        } else {
+            // The greedy union accumulated in load order; the instance path
+            // reports `selection.files` in ascending local order, which the
+            // owner key reproduces.
+            let owner = &self.owner;
+            let owner_pos = &self.owner_pos;
+            let rank_val = &self.rank_val;
+            self.union_pids.sort_unstable_by_key(|&pid| {
+                (
+                    rank_val[owner[pid as usize] as usize],
+                    owner_pos[pid as usize],
+                )
+            });
+        }
+        let mut retained: Vec<FileId> = self
+            .union_pids
+            .iter()
+            .map(|&p| self.file_ids[p as usize])
+            .collect();
+        retained.sort_unstable();
+        let prefetch: Vec<FileId> = if prefetch_enabled {
+            self.union_pids
+                .iter()
+                .filter(|&&p| self.incoming_stamp[p as usize] != epoch)
+                .map(|&p| self.file_ids[p as usize])
+                .filter(|&f| !cache.contains(f))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        (retained, prefetch)
     }
 
     /// Exhaustive consistency check against the history and a residency

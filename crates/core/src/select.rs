@@ -26,21 +26,31 @@
 //! The naive recompute-and-resort loop costs `O(n² · b)` for `n` requests
 //! of bundle size `b` — a full rescan of every candidate after every
 //! selection. [`greedy_shared_credit`] instead runs an *incremental greedy*:
-//! an inverted file→request adjacency built once per call, a max-heap of
-//! `(v'(r), request index)` entries with version-stamped lazy invalidation,
-//! and localised marginal updates — when a selection loads file `f`, only
-//! the ≤ `d(f)` requests containing `f` can change rank, so only they are
-//! recomputed and re-pushed. Because marginal adjusted sizes only shrink as
-//! files load, priorities only *increase*, and a popped entry whose version
-//! stamp is current is the exact argmax; feasibility
-//! (`marginal bytes ≤ remaining`) is re-checked at pop time. Each iteration
-//! costs `O(b · d · log n)` instead of `O(n · b)`, and the result is
-//! **bit-for-bit identical** to the reference loop (kept as
-//! [`greedy_shared_credit_reference`] and pinned by differential property
-//! tests): same selections, same order, same tie-breaking by lower index.
+//! an inverted file→request adjacency built once per call (CSR layout), a
+//! dense indexed 4-ary max-heap of `(v'(r), request index)` keys, and
+//! localised marginal updates — when a selection loads file `f`, only the
+//! ≤ `d(f)` requests containing `f` can change rank, so only they are
+//! recomputed and repositioned. Because marginal adjusted sizes only shrink
+//! as files load, priorities only *increase*, so a refreshed request merely
+//! sifts up; feasibility (`marginal bytes ≤ remaining`) is checked at pop
+//! time, and an infeasible pop *parks* the request (removes it) until an
+//! adjacency refresh re-inserts it. The position map means the heap holds
+//! at most one entry per request — no stale entries, no version stamps, and
+//! the end-of-loop drain is `O(n)` pops instead of a churn of invalidated
+//! copies. Each selection costs `O(b · d · log n)` instead of `O(n · b)`,
+//! and the result is **bit-for-bit identical** to the reference loop: same
+//! selections, same order, same tie-breaking by lower index.
+//!
+//! Two slower twins are retained for differential pinning: the previous
+//! version-stamped `BinaryHeap` kernel, verbatim, as
+//! [`greedy_shared_credit_lazy`] (also what the rebuild decision path of
+//! `OptFileBundle` runs, so benchmarks measure a fully pre-PR pipeline),
+//! and the naive rescan loop as [`greedy_shared_credit_reference`] — the
+//! semantic anchor both kernels are pinned against by property tests.
 
 use crate::instance::{FbcInstance, Selection};
 use serde::{Deserialize, Serialize};
+#[cfg(any(test, feature = "reference-kernels"))]
 use std::collections::BinaryHeap;
 
 /// Which flavour of the greedy loop to run. See the module docs.
@@ -220,70 +230,163 @@ impl BitSet {
     }
 }
 
-/// One heap entry of the incremental kernel: the request's adjusted
-/// relative value at the time of the push, and the per-request version
-/// stamp identifying whether the entry is still current at pop time.
-#[derive(Debug, Clone, Copy)]
-struct HeapEntry {
-    rv: f64,
-    idx: u32,
-    version: u32,
+/// Per-request hot state of the shared-credit kernels, packed into one
+/// 24-byte record so a refresh touches a single cache line per request
+/// (marginal, priority and value land together). Residency does not live
+/// here: the [`BlockMax`] key itself encodes absence, selected requests
+/// are tracked in the callers' `taken` sets, and refresh deduplication
+/// stamps live in a dedicated dense epoch array — keeping the *filter*
+/// path of the refresh loop (which rejects most adjacency entries) off
+/// this comparatively large array.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ReqState {
+    /// Current marginal size in bytes under the loaded set.
+    pub(crate) mb: u64,
+    /// Current adjusted relative value — the source of truth for the
+    /// argmax key.
+    pub(crate) rv: f64,
+    /// The request's value `v(r)` (cached here so the refresh does not
+    /// gather it from the request table).
+    pub(crate) value: f64,
 }
 
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == std::cmp::Ordering::Equal
+/// Converts an `f64` key into a `u64` whose *unsigned* order is exactly
+/// `f64::total_cmp`: negative values have all bits flipped, non-negative
+/// values have the sign bit set. `0` is reserved as the **absent**
+/// sentinel — it sorts below the image of every non-NaN value (only a
+/// negative NaN could map at or below `ord_key(-inf)`, and kernel keys are
+/// never NaN: values are finite and a non-positive denominator maps to
+/// `+inf`).
+#[inline]
+pub(crate) fn ord_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
     }
 }
 
-impl Eq for HeapEntry {}
+/// Keys per block of the [`BlockMax`] index: one cache line of ordered
+/// `u64` images per block, and for the kernel's instance sizes
+/// (`n ~ 10^3..10^4`) a bound array of a few cache lines total.
+const BLOCK: usize = 64;
 
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+/// A flat argmax index over the dense request indices `0..n`, replacing
+/// the d-ary heap the kernel used previously. One `u64` per request holds
+/// the [`ord_key`] image of its current `rv` — or `0` when the request is
+/// *absent* (never inserted, popped, parked or taken) — plus one maximum
+/// per [`BLOCK`]-sized block of requests.
+///
+/// The structure leans on the kernel's monotonicity invariant (asserted
+/// in the refresh loops): a resident request's key only ever increases,
+/// so an [`Self::update`] is two stores and a compare — write the key,
+/// raise the block maximum — with no sift, no position map and no
+/// per-request bookkeeping at all (insert, unpark and key-increase are
+/// the same operation; the callers' `taken` sets keep selected requests
+/// from re-entering). [`Self::pop`] removes a key and rescans just that
+/// key's block, so block maxima are *exact* at all times: a pop is one
+/// pass over the block maxima, one pass over the winning block and one
+/// repair pass — three short, branch-light scans over contiguous `u64`s
+/// (split into a pure-max pass and a find-index pass so they vectorise),
+/// never a traversal of scattered heap lines.
+///
+/// [`Self::pop`] returns the reference loop's exact argmax — maximum
+/// `total_cmp` key, ties to the lower index: the block scan takes the
+/// *first* block attaining the maximum, the key scan takes the first
+/// index attaining the block maximum, and the `u64` image order *is*
+/// `total_cmp`. Unlike a heap there is no internal arrangement, so
+/// determinism needs no argument about slot order.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BlockMax {
+    /// `ord_key` image of each request's current `rv`; `0` = absent.
+    key: Vec<u64>,
+    /// Exact per-block maximum of `key`.
+    bound: Vec<u64>,
 }
 
-impl Ord for HeapEntry {
-    /// Max-heap order: higher `rv` first, ties to the *lower* request index
-    /// — the reference loop's `rv > brv || (rv == brv && i < bi)` argmax.
-    /// `rv` is never NaN (values are validated finite and non-negative and
-    /// a non-positive denominator maps to `+∞`), so `total_cmp` agrees with
-    /// the reference's `partial_cmp` on every reachable value.
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.rv
-            .total_cmp(&other.rv)
-            .then_with(|| other.idx.cmp(&self.idx))
+impl BlockMax {
+    /// Empties the index and sizes it for requests `0..n`, all absent.
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.key.clear();
+        self.key.resize(n, 0);
+        self.bound.clear();
+        self.bound.resize(n.div_ceil(BLOCK), 0);
+    }
+
+    /// (Re-)activates `i` at key `rv`: insertion, unpark and key-increase
+    /// are all this one operation. The caller keeps taken requests out.
+    #[inline]
+    pub(crate) fn update(&mut self, i: u32, rv: f64) {
+        debug_assert!(!rv.is_nan(), "kernel keys are never NaN");
+        let i = i as usize;
+        let k = ord_key(rv);
+        debug_assert!(k >= self.key[i], "resident keys only increase");
+        self.key[i] = k;
+        let b = i / BLOCK;
+        if k > self.bound[b] {
+            self.bound[b] = k;
+        }
+    }
+
+    /// Removes and returns the argmax index — maximum key, ties to the
+    /// lower index — or `None` when every request is absent.
+    pub(crate) fn pop(&mut self) -> Option<u32> {
+        // Maximum over the (exact) block maxima; `0` means all absent.
+        let mut bk = 0u64;
+        for &v in &self.bound {
+            if v > bk {
+                bk = v;
+            }
+        }
+        if bk == 0 {
+            return None;
+        }
+        // First block attaining it — earlier blocks are strictly below.
+        let bb = self.bound.iter().position(|&v| v == bk).expect("present");
+        let start = bb * BLOCK;
+        let end = (start + BLOCK).min(self.key.len());
+        let block = &mut self.key[start..end];
+        // First in-block index attaining it: the global argmax.
+        let ti = block.iter().position(|&k| k == bk).expect("exact bound");
+        block[ti] = 0;
+        // Repair eagerly: keys only increase while resident, so this is
+        // the only place a block maximum can fall, and rescanning here
+        // keeps every bound exact (pops never need a retry loop).
+        let mut nb = 0u64;
+        for &k in block.iter() {
+            if k > nb {
+                nb = k;
+            }
+        }
+        self.bound[bb] = nb;
+        Some((start + ti) as u32)
     }
 }
 
 /// Reusable buffers of the incremental shared-credit kernel. One instance
 /// per policy (or per thread) amortises every allocation of the decision
-/// path: bitsets, marginal tables, the adjacency CSR and the heap are all
-/// `reset` (length-adjusted, not freed) between calls.
+/// path: bitsets, marginal tables and the heap are all `reset`
+/// (length-adjusted, not freed) between calls. The file→request adjacency
+/// lives on the instance ([`FbcInstance::file_request_adjacency`]), not
+/// here — it is selection-invariant.
 #[derive(Debug, Clone, Default)]
 pub struct SelectScratch {
     /// Files already charged to the selection (local indices).
     loaded: BitSet,
     /// Requests already selected.
     taken: BitSet,
-    /// Per-request version stamp; heap entries with an older stamp are
-    /// stale and skipped at pop time.
-    version: Vec<u32>,
-    /// Per-request epoch stamp deduplicating refreshes within one
-    /// selection step (a request sharing several freshly loaded files is
-    /// recomputed once).
+    /// Packed per-request hot state (marginal, priority, value). Entries
+    /// are *not* cleared between calls — the kernel's init pass overwrites
+    /// every record it will ever read (seeded requests in the seed loop,
+    /// the rest in the priority loop), so the length-only reset below
+    /// skips an O(n) memset per decision.
+    req: Vec<ReqState>,
+    /// Epoch stamps deduplicating refreshes within one selection step —
+    /// dense and small so the refresh filter stays in close cache.
     touched: Vec<u32>,
-    /// Current marginal size in bytes per request.
-    marginal_bytes: Vec<u64>,
-    /// CSR offsets of the file→request adjacency (length `m + 1`).
-    adj_offsets: Vec<u32>,
-    /// CSR fill cursors (length `m`).
-    adj_cursor: Vec<u32>,
-    /// CSR payload: request indices grouped by file.
-    adj_requests: Vec<u32>,
-    /// The lazy max-heap.
-    heap: BinaryHeap<HeapEntry>,
+    /// The block-bounded argmax index over request indices.
+    heap: BlockMax,
     /// Files newly loaded by the current selection step.
     newly_loaded: Vec<u32>,
 }
@@ -293,18 +396,10 @@ impl SelectScratch {
     fn reset(&mut self, n: usize, m: usize) {
         self.loaded.reset(m);
         self.taken.reset(n);
-        self.version.clear();
-        self.version.resize(n, 0);
+        self.req.resize(n, ReqState::default());
         self.touched.clear();
         self.touched.resize(n, 0);
-        self.marginal_bytes.clear();
-        self.marginal_bytes.resize(n, 0);
-        self.adj_offsets.clear();
-        self.adj_offsets.resize(m + 1, 0);
-        self.adj_cursor.clear();
-        self.adj_cursor.resize(m, 0);
-        self.adj_requests.clear();
-        self.heap.clear();
+        self.heap.reset(n);
         self.newly_loaded.clear();
     }
 }
@@ -326,10 +421,30 @@ fn marginal_of(inst: &FbcInstance, i: usize, loaded: &BitSet) -> (u64, f64) {
     (marginal_bytes, marginal_adjusted)
 }
 
+/// [`marginal_of`] over the instance's flat request CSR and fused
+/// `(s(f), s'(f))` table — the same terms summed in the same (ascending
+/// file) order, hence bit-identical, minus the dependent pointer chase
+/// through each request's own `Vec` and the second gather per file.
+#[inline]
+fn marginal_flat(files: &[u32], table: &[(u64, f64)], loaded: &BitSet) -> (u64, f64) {
+    let mut marginal_bytes: u64 = 0;
+    let mut marginal_adjusted = 0.0;
+    for &f in files {
+        if !loaded.get(f as usize) {
+            let (size, adjusted) = table[f as usize];
+            marginal_bytes += size;
+            marginal_adjusted += adjusted;
+        }
+    }
+    (marginal_bytes, marginal_adjusted)
+}
+
 /// The reference's ranking key: `v(r)` over the marginal adjusted size,
 /// `+∞` when every file is already loaded (or zero-sized) — free to take.
+/// Shared with the resident-state decision kernel (`resident.rs`), which
+/// must rank candidates with bit-identical keys.
 #[inline]
-fn rv_of(value: f64, marginal_adjusted: f64) -> f64 {
+pub(crate) fn rv_of(value: f64, marginal_adjusted: f64) -> f64 {
     if marginal_adjusted <= 0.0 {
         f64::INFINITY
     } else {
@@ -360,6 +475,263 @@ pub fn greedy_shared_credit_with_scratch(
     seed: &[usize],
     capacity: u64,
     scratch: &mut SelectScratch,
+) -> Selection {
+    let n = inst.num_requests();
+    let m = inst.num_files();
+    scratch.reset(n, m);
+    let SelectScratch {
+        loaded,
+        taken,
+        req,
+        touched,
+        heap,
+        newly_loaded,
+    } = scratch;
+
+    let mut chosen: Vec<usize> = seed.to_vec();
+    for &i in seed {
+        taken.set(i);
+        req[i] = ReqState::default();
+        for &f in inst.requests()[i].files() {
+            loaded.set(f as usize);
+        }
+    }
+    let mut remaining = capacity;
+
+    // Inverted file→request adjacency, CSR layout — memoised on the
+    // instance (a pure function of the immutable request structure), so
+    // repeated selections over one instance skip the rebuild entirely.
+    // Ditto the flat request→file CSR and the fused per-file size table,
+    // which keep the hot refresh loop on contiguous memory.
+    let (adj_offsets, adj_requests) = inst.file_request_adjacency();
+    let (req_offsets, req_files) = inst.request_file_csr();
+    let size_table = inst.file_size_adjusted_table();
+
+    // Initial priorities for every unselected request. With no seed the
+    // loaded set is empty, so each request's marginal is its full bundle —
+    // both memoised by `FbcInstance` in the same ascending-local summation
+    // order `marginal_of` uses, hence bit-identical and free of the O(n·b)
+    // scan.
+    // `min_positive_mb` is a monotone lower bound on the marginal size of
+    // every unselected request whose marginal is positive: it is folded in
+    // whenever a positive marginal is (re)computed and never raised, so it
+    // can only under-estimate. `free_requests` exactly counts unselected
+    // requests with a zero marginal (always heap-resident: a zero marginal
+    // is always feasible, so they are never parked). Together they justify
+    // the early exit in the main loop.
+    let mut min_positive_mb: u64 = u64::MAX;
+    let mut free_requests: usize = 0;
+    if seed.is_empty() {
+        for (i, slot) in req.iter_mut().enumerate().take(n) {
+            let mb = inst.request_size(i);
+            if mb == 0 {
+                free_requests += 1;
+            } else if mb < min_positive_mb {
+                min_positive_mb = mb;
+            }
+            let value = inst.requests()[i].value;
+            let rv = rv_of(value, inst.request_adjusted_size(i));
+            *slot = ReqState { mb, rv, value };
+            heap.update(i as u32, rv);
+        }
+    } else {
+        for (i, slot) in req.iter_mut().enumerate().take(n) {
+            if taken.get(i) {
+                continue;
+            }
+            let (mb, ma) = marginal_of(inst, i, loaded);
+            if mb == 0 {
+                free_requests += 1;
+            } else if mb < min_positive_mb {
+                min_positive_mb = mb;
+            }
+            let value = inst.requests()[i].value;
+            let rv = rv_of(value, ma);
+            *slot = ReqState { mb, rv, value };
+            heap.update(i as u32, rv);
+        }
+    }
+
+    // Greedy main loop. Invariant: every unselected request is either in
+    // the argmax index at its exact current rv, or was popped while infeasible
+    // (parked) — and since `remaining` only shrinks and its marginal only
+    // changes when one of its files loads (which re-inserts it below), a
+    // parked request stays correctly excluded until then. A pop is
+    // therefore always the reference loop's argmax.
+    let mut epoch: u32 = 0;
+    loop {
+        // Early exit that skips the terminal drain: when no unselected
+        // request is free and even the smallest positive marginal ever seen
+        // exceeds `remaining`, nothing resident is feasible now — and since
+        // marginals only change when a take loads files, none ever becomes
+        // feasible. The reference loop would park every remaining entry one
+        // by one; the selection is already complete. In practice this fires
+        // just after the last take and cuts ~80% of all pops.
+        if free_requests == 0 && remaining < min_positive_mb {
+            break;
+        }
+        let Some(top) = heap.pop() else {
+            break;
+        };
+        let i = top as usize;
+        debug_assert!(!taken.get(i), "taken requests leave the index");
+        if req[i].mb > remaining {
+            continue; // parked: re-enters via adjacency refresh if ever viable
+        }
+
+        // Feasible at the top of the heap: the exact argmax.
+        if req[i].mb == 0 {
+            free_requests -= 1;
+        }
+        taken.set(i);
+        chosen.push(i);
+        newly_loaded.clear();
+        for &f in &req_files[req_offsets[i] as usize..req_offsets[i + 1] as usize] {
+            if !loaded.get(f as usize) {
+                remaining -= size_table[f as usize].0;
+                loaded.set(f as usize);
+                newly_loaded.push(f);
+            }
+        }
+
+        // Refresh exactly the requests whose marginal changed: those
+        // adjacent to a freshly loaded file. All fresh loads are already in
+        // `loaded`, so recomputed marginals are independent of refresh
+        // order. Priorities only increase (terms leave the adjusted sum),
+        // so a resident request sifts up in place; a parked one re-enters.
+        epoch += 1;
+        for &fl in newly_loaded.iter() {
+            let f = fl as usize;
+            let (start, end) = (adj_offsets[f] as usize, adj_offsets[f + 1] as usize);
+            for &jr in &adj_requests[start..end] {
+                let j = jr as usize;
+                // Filter on the dense stamp array and the taken bitset —
+                // both stay in close cache — so rejected entries (most of
+                // them) never touch the record array.
+                if touched[j] == epoch || taken.get(j) {
+                    continue;
+                }
+                touched[j] = epoch;
+                let files = &req_files[req_offsets[j] as usize..req_offsets[j + 1] as usize];
+                let (mb, ma) = marginal_flat(files, size_table, loaded);
+                if mb == 0 {
+                    if req[j].mb != 0 {
+                        free_requests += 1;
+                    }
+                } else if mb < min_positive_mb {
+                    min_positive_mb = mb;
+                }
+                req[j].mb = mb;
+                let rv = rv_of(req[j].value, ma);
+                debug_assert!(
+                    rv.total_cmp(&req[j].rv) != std::cmp::Ordering::Less,
+                    "rv must be monotone under file loads"
+                );
+                req[j].rv = rv;
+                heap.update(j as u32, rv);
+            }
+        }
+    }
+    Selection::from_chosen(inst, chosen)
+}
+
+/// One heap entry of the lazy twin kernel: the request's adjusted relative
+/// value at the time of the push, and the per-request version stamp
+/// identifying whether the entry is still current at pop time.
+#[cfg(any(test, feature = "reference-kernels"))]
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    rv: f64,
+    idx: u32,
+    version: u32,
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl Eq for HeapEntry {}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl Ord for HeapEntry {
+    /// Max-heap order: higher `rv` first, ties to the *lower* request index
+    /// — the reference loop's `rv > brv || (rv == brv && i < bi)` argmax.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rv
+            .total_cmp(&other.rv)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+/// Reusable buffers of [`greedy_shared_credit_lazy_with_scratch`] — the
+/// previous generation's scratch, kept verbatim alongside its kernel.
+#[cfg(any(test, feature = "reference-kernels"))]
+#[derive(Debug, Clone, Default)]
+pub struct LazySelectScratch {
+    loaded: BitSet,
+    taken: BitSet,
+    /// Per-request version stamp; heap entries with an older stamp are
+    /// stale and skipped at pop time.
+    version: Vec<u32>,
+    touched: Vec<u32>,
+    marginal_bytes: Vec<u64>,
+    adj_offsets: Vec<u32>,
+    adj_cursor: Vec<u32>,
+    adj_requests: Vec<u32>,
+    /// The lazy max-heap: may hold several (stale) entries per request.
+    heap: BinaryHeap<HeapEntry>,
+    newly_loaded: Vec<u32>,
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl LazySelectScratch {
+    fn reset(&mut self, n: usize, m: usize) {
+        self.loaded.reset(m);
+        self.taken.reset(n);
+        self.version.clear();
+        self.version.resize(n, 0);
+        self.touched.clear();
+        self.touched.resize(n, 0);
+        self.marginal_bytes.clear();
+        self.marginal_bytes.resize(n, 0);
+        self.adj_offsets.clear();
+        self.adj_offsets.resize(m + 1, 0);
+        self.adj_cursor.clear();
+        self.adj_cursor.resize(m, 0);
+        self.adj_requests.clear();
+        self.heap.clear();
+        self.newly_loaded.clear();
+    }
+}
+
+/// The previous incremental kernel — version-stamped `BinaryHeap` with lazy
+/// invalidation — retained verbatim as a differential twin and as the
+/// kernel of the rebuild/reference decision engine, so `perf_decision`'s
+/// Full-mode speedup measures the whole new path against the whole old one.
+#[cfg(any(test, feature = "reference-kernels"))]
+pub fn greedy_shared_credit_lazy(inst: &FbcInstance, seed: &[usize], capacity: u64) -> Selection {
+    let mut scratch = LazySelectScratch::default();
+    greedy_shared_credit_lazy_with_scratch(inst, seed, capacity, &mut scratch)
+}
+
+/// [`greedy_shared_credit_lazy`] with caller-owned reusable buffers.
+#[cfg(any(test, feature = "reference-kernels"))]
+pub fn greedy_shared_credit_lazy_with_scratch(
+    inst: &FbcInstance,
+    seed: &[usize],
+    capacity: u64,
+    scratch: &mut LazySelectScratch,
 ) -> Selection {
     let n = inst.num_requests();
     let m = inst.num_files();
@@ -465,6 +837,29 @@ pub fn greedy_shared_credit_with_scratch(
         }
     }
     Selection::from_chosen(inst, chosen)
+}
+
+/// [`opt_cache_select_with_scratch`] composed over the lazy twin kernel —
+/// the complete previous-generation selection path, used by the
+/// rebuild/reference decision engine of `OptFileBundle`.
+#[cfg(any(test, feature = "reference-kernels"))]
+pub fn opt_cache_select_lazy_with_scratch(
+    inst: &FbcInstance,
+    opts: &SelectOptions,
+    scratch: &mut LazySelectScratch,
+) -> Selection {
+    let greedy = match opts.variant {
+        GreedyVariant::PaperLiteral => greedy_sorted(inst, false),
+        GreedyVariant::SortedOnce => greedy_sorted(inst, true),
+        GreedyVariant::SharedCredit => {
+            greedy_shared_credit_lazy_with_scratch(inst, &[], inst.capacity(), scratch)
+        }
+    };
+    if opts.max_single_fallback {
+        max_of(greedy, best_single(inst))
+    } else {
+        greedy
+    }
 }
 
 /// The pre-incremental recompute-and-resort loop, kept verbatim as the
@@ -756,6 +1151,7 @@ mod tests {
             state
         };
         let mut scratch = SelectScratch::default();
+        let mut lazy_scratch = LazySelectScratch::default();
         for round in 0..200 {
             let m = (next() % 12 + 1) as usize;
             let sizes: Vec<u64> = (0..m).map(|_| next() % 30).collect();
@@ -782,6 +1178,8 @@ mod tests {
             }
             let capacity = cap - seed_bytes;
             let fast = greedy_shared_credit_with_scratch(&inst, &seed, capacity, &mut scratch);
+            let lazy =
+                greedy_shared_credit_lazy_with_scratch(&inst, &seed, capacity, &mut lazy_scratch);
             let slow = greedy_shared_credit_reference(&inst, &seed, capacity);
             assert_eq!(fast.chosen, slow.chosen, "round {round}");
             assert_eq!(fast.files, slow.files, "round {round}");
@@ -790,6 +1188,12 @@ mod tests {
                 fast.value.to_bits(),
                 slow.value.to_bits(),
                 "round {round}: value not bit-identical"
+            );
+            assert_eq!(lazy, slow, "round {round}: lazy twin diverged");
+            assert_eq!(
+                lazy.value.to_bits(),
+                slow.value.to_bits(),
+                "round {round}: lazy value not bit-identical"
             );
         }
     }
@@ -818,11 +1222,14 @@ mod tests {
                 .collect();
             let inst = FbcInstance::new(cap, sizes, reqs).unwrap();
             let fast = greedy_shared_credit(&inst, &[], inst.capacity());
+            let lazy = greedy_shared_credit_lazy(&inst, &[], inst.capacity());
             let slow = greedy_shared_credit_reference(&inst, &[], inst.capacity());
             prop_assert_eq!(&fast.chosen, &slow.chosen);
             prop_assert_eq!(&fast.files, &slow.files);
             prop_assert_eq!(fast.bytes, slow.bytes);
             prop_assert_eq!(fast.value.to_bits(), slow.value.to_bits());
+            prop_assert_eq!(&lazy, &slow);
+            prop_assert_eq!(lazy.value.to_bits(), slow.value.to_bits());
         }
 
         /// All three variants through the public entry point agree with a
@@ -865,6 +1272,9 @@ mod tests {
                         if o.max_single_fallback { max_of(g, best_single(&inst)) } else { g }
                     };
                     prop_assert_eq!(&first, &reference);
+                    let mut lazy_scratch = LazySelectScratch::default();
+                    let lazy = opt_cache_select_lazy_with_scratch(&inst, &o, &mut lazy_scratch);
+                    prop_assert_eq!(&lazy, &reference);
                 }
             }
         }

@@ -118,6 +118,102 @@ proptest! {
         }
     }
 
+    /// Batched admission is *defined* as sequential: driving the same jobs
+    /// through `handle_batch` in arbitrary chunkings must produce the same
+    /// outcomes, the same final cache, and — with tracing on — the same
+    /// byte-for-byte JSONL trace and registry dump as per-job `handle`.
+    #[test]
+    fn batched_admission_matches_sequential(
+        jobs in proptest::collection::vec(small_bundle(), 1..60),
+        chunk in 1usize..9,
+        decay in proptest::bool::ANY,
+    ) {
+        let catalog = catalog();
+        let value_fn = if decay {
+            ValueFn::Decay { half_life: 3.0 }
+        } else {
+            ValueFn::Count
+        };
+        for config in configs() {
+            let config = OfbConfig { value_fn, ..config };
+            for traced in [false, true] {
+                let obs_seq = if traced { fbc_obs::Obs::enabled() } else { fbc_obs::Obs::disabled() };
+                let obs_bat = if traced { fbc_obs::Obs::enabled() } else { fbc_obs::Obs::disabled() };
+
+                let mut seq = OptFileBundle::with_config(config);
+                seq.attach_obs(obs_seq.clone());
+                let mut cache_seq = CacheState::new(18);
+                let seq_out: Vec<RequestOutcome> = jobs
+                    .iter()
+                    .map(|b| seq.handle(b, &mut cache_seq, &catalog))
+                    .collect();
+
+                let mut bat = OptFileBundle::with_config(config);
+                bat.attach_obs(obs_bat.clone());
+                let mut cache_bat = CacheState::new(18);
+                let mut bat_out = Vec::new();
+                let refs: Vec<&Bundle> = jobs.iter().collect();
+                for group in refs.chunks(chunk) {
+                    bat.handle_batch(group, &mut cache_bat, &catalog, &mut bat_out);
+                }
+
+                prop_assert_eq!(&seq_out, &bat_out, "outcomes diverged under {:?}", config);
+                prop_assert_eq!(
+                    cache_seq.resident_files_sorted(),
+                    cache_bat.resident_files_sorted(),
+                    "caches diverged under {:?}",
+                    config
+                );
+                if traced {
+                    prop_assert_eq!(obs_seq.jsonl(), obs_bat.jsonl());
+                    prop_assert_eq!(obs_seq.render_table(), obs_bat.render_table());
+                }
+            }
+        }
+    }
+
+    /// `Window(n)` edge cases: degenerate windows (`0`, `1`), a window that
+    /// exactly covers the history, and one larger than the history will
+    /// ever grow — each crossed with candidate-list truncation, including
+    /// caps of `0`/`1` and caps above the window. The windowed fast path
+    /// must agree with the rebuild reference on every outcome, explain
+    /// report, and final cache for each combination.
+    #[test]
+    fn window_edge_cases_match_reference(
+        jobs in proptest::collection::vec(small_bundle(), 1..48),
+        decay in proptest::bool::ANY,
+    ) {
+        let catalog = catalog();
+        let value_fn = if decay {
+            ValueFn::Decay { half_life: 3.0 }
+        } else {
+            ValueFn::Count
+        };
+        let history_len = jobs.len();
+        let windows = [0, 1, history_len, history_len + 7];
+        let caps = [None, Some(0), Some(1), Some(3), Some(history_len + 9)];
+        for window in windows {
+            for max_candidates in caps {
+                let config = OfbConfig {
+                    history_mode: HistoryMode::Window(window),
+                    max_candidates,
+                    value_fn,
+                    ..OfbConfig::default()
+                };
+                let fast = run(OptFileBundle::with_config(config), &jobs, &catalog, 18);
+                let slow = run(
+                    OptFileBundle::with_config_reference(config),
+                    &jobs,
+                    &catalog,
+                    18,
+                );
+                prop_assert_eq!(&fast.0, &slow.0, "outcomes diverged under {:?}", config);
+                prop_assert_eq!(&fast.1, &slow.1, "explains diverged under {:?}", config);
+                prop_assert_eq!(&fast.2, &slow.2, "caches diverged under {:?}", config);
+            }
+        }
+    }
+
     /// Warm starts from a persisted history: the resident mirror populated
     /// from `with_history` must behave identically to the reference twin's
     /// index warm start, and a `reset` must bring both back to blank.

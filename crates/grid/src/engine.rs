@@ -31,7 +31,7 @@ use crate::stats::GridStats;
 use crate::time::SimTime;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
-use fbc_core::policy::CachePolicy;
+use fbc_core::policy::{CachePolicy, RequestOutcome};
 use fbc_obs::{Field, Obs};
 use std::collections::VecDeque;
 
@@ -253,6 +253,7 @@ pub fn run_grid_on_cache(
     let mut queue: VecDeque<usize> = VecDeque::new();
     let mut in_service: usize = 0;
     let mut last_completion = SimTime::ZERO;
+    let mut hit_out: Vec<RequestOutcome> = Vec::new();
 
     while let Some((now, event)) = events.pop() {
         obs.set_now(now.micros());
@@ -344,6 +345,51 @@ pub fn run_grid_on_cache(
         // Start as many queued jobs as concurrency and pins allow.
         while in_service < config.srm.max_concurrent_jobs {
             let Some(&i) = queue.front() else { break };
+            // Batched fast path: a maximal front run of fully-resident jobs
+            // is admitted through one `handle_batch` call. Hits mutate
+            // nothing but the request history — no eviction, no fetch — so
+            // the `supports` precheck cannot be invalidated mid-run, and
+            // deferring the pins to after the batch changes nothing (pins
+            // only gate evictions, which hits never attempt). Bit-identical
+            // to the per-job loop by the `handle_batch` contract.
+            let slots_free = config.srm.max_concurrent_jobs - in_service;
+            let run_len = queue
+                .iter()
+                .take(slots_free)
+                .take_while(|&&j| cache.supports(&arrivals[j].bundle))
+                .count();
+            if run_len >= 2 {
+                let batch: Vec<&fbc_core::bundle::Bundle> = queue
+                    .iter()
+                    .take(run_len)
+                    .map(|&j| &arrivals[j].bundle)
+                    .collect();
+                hit_out.clear();
+                policy.handle_batch(&batch, cache, catalog, &mut hit_out);
+                debug_assert!(cache.check_invariants());
+                for outcome in hit_out.iter().take(run_len) {
+                    let j = queue.pop_front().expect("run length bounded by queue");
+                    debug_assert!(outcome.hit && outcome.serviced);
+                    stats.cache.record(outcome);
+                    pin_bundle(cache, &arrivals[j].bundle);
+                    in_service += 1;
+                    jobs[j].fetched_bytes = outcome.fetched_bytes;
+                    jobs[j].requested_bytes = outcome.requested_bytes;
+                    issue_fetch(
+                        j,
+                        now,
+                        config,
+                        &mut mss,
+                        &mut link,
+                        &mut faults,
+                        &mut events,
+                        &mut stats,
+                        &mut jobs,
+                        obs,
+                    );
+                }
+                continue;
+            }
             let bundle = &arrivals[i].bundle;
             let outcome = policy.handle(bundle, cache, catalog);
             debug_assert!(cache.check_invariants());

@@ -18,7 +18,7 @@ use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
 use fbc_core::history::{RequestHistory, ValueFn};
-use fbc_core::policy::CachePolicy;
+use fbc_core::policy::{CachePolicy, RequestOutcome};
 use fbc_obs::{Field, Obs};
 use fbc_workload::trace::Trace;
 use std::collections::HashSet;
@@ -114,6 +114,13 @@ pub fn run_queued_observed(
     // Each pending entry carries its arrival position so the trace can
     // show how the discipline reordered the batch.
     let mut pending: Vec<(u64, Bundle)> = Vec::with_capacity(queue.queue_len);
+    // Batched drain: with tracing off and no latency sampling, none of the
+    // per-job bookkeeping below (clock ticks, job events, timers) does
+    // anything, so the whole batch is handed to the policy's batched
+    // admission in one call. `handle_batch` is bit-identical to the
+    // per-job loop by contract, so metrics cannot diverge.
+    let batched = !obs.is_enabled() && !run.record_latency;
+    let mut batch_out: Vec<RequestOutcome> = Vec::new();
     let mut input = trace
         .requests
         .iter()
@@ -139,6 +146,21 @@ pub fn run_queued_observed(
         // service order, so cross-batch HRV state is unchanged.
         let order = drain_order(queue.discipline, &mut ranking_history, &pending, catalog);
         debug_assert_eq!(order.len(), pending.len());
+        if batched {
+            let batch: Vec<&Bundle> = order.iter().map(|&idx| &pending[idx].1).collect();
+            batch_out.clear();
+            policy.handle_batch(&batch, &mut cache, catalog, &mut batch_out);
+            debug_assert_eq!(batch_out.len(), batch.len());
+            debug_assert!(cache.check_invariants());
+            for outcome in &batch_out {
+                if processed >= run.warmup_jobs {
+                    metrics.record(outcome);
+                }
+                processed += 1;
+            }
+            pending.clear();
+            continue;
+        }
         let mut slots: Vec<Option<(u64, Bundle)>> = pending.drain(..).map(Some).collect();
         for idx in order {
             let (arrived, bundle) = slots[idx].take().expect("each slot serviced exactly once");
