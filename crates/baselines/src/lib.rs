@@ -23,6 +23,7 @@ pub mod landlord;
 pub mod lfu;
 pub mod lru;
 pub mod lruk;
+pub mod online_bundle;
 pub mod random;
 pub mod size;
 pub mod slru;
@@ -37,6 +38,9 @@ pub use landlord::{CostModel, Landlord};
 pub use lfu::Lfu;
 pub use lru::Lru;
 pub use lruk::LruK;
+pub use online_bundle::{
+    distributed_marking_bound, marking_competitive_bound, BundleMarking, BundleMarkingRandom,
+};
 pub use random::RandomEvict;
 pub use size::LargestFirst;
 pub use slru::Slru;
@@ -71,13 +75,18 @@ pub enum PolicyKind {
     LargestFirst,
     /// Segmented LRU (probation + protected segments).
     Slru,
+    /// Qin–Etesami online bundle-marking, deterministic LRU flavour
+    /// ((k − ℓ + 1)-competitive on unit files).
+    BundleMarking,
+    /// Qin–Etesami online bundle-marking, randomized flavour (seed 0xF1BC).
+    BundleMarkingRand,
     /// Offline Belady MIN (requires `prepare(trace)`).
     BeladyMin,
 }
 
 impl PolicyKind {
     /// All online policies (excludes the clairvoyant Belady MIN).
-    pub const ONLINE: [PolicyKind; 12] = [
+    pub const ONLINE: [PolicyKind; 14] = [
         PolicyKind::OptFileBundle,
         PolicyKind::Landlord,
         PolicyKind::LandlordSizeAware,
@@ -90,6 +99,8 @@ impl PolicyKind {
         PolicyKind::Random,
         PolicyKind::LargestFirst,
         PolicyKind::Slru,
+        PolicyKind::BundleMarking,
+        PolicyKind::BundleMarkingRand,
     ];
 
     /// Instantiates the policy.
@@ -109,6 +120,8 @@ impl PolicyKind {
             PolicyKind::Random => Box::new(RandomEvict::new(0xF1BC)),
             PolicyKind::LargestFirst => Box::new(LargestFirst::new()),
             PolicyKind::Slru => Box::new(Slru::new()),
+            PolicyKind::BundleMarking => Box::new(BundleMarking::new()),
+            PolicyKind::BundleMarkingRand => Box::new(BundleMarkingRandom::new(0xF1BC)),
             PolicyKind::BeladyMin => Box::new(BeladyMin::new()),
         }
     }
@@ -133,6 +146,8 @@ impl PolicyKind {
             PolicyKind::Random => Box::new(RandomEvict::new(0xF1BC)),
             PolicyKind::LargestFirst => Box::new(LargestFirst::new()),
             PolicyKind::Slru => Box::new(Slru::new()),
+            PolicyKind::BundleMarking => Box::new(BundleMarking::new()),
+            PolicyKind::BundleMarkingRand => Box::new(BundleMarkingRandom::new(0xF1BC)),
             PolicyKind::BeladyMin => Box::new(BeladyMin::new()),
         }
     }
@@ -159,6 +174,12 @@ impl PolicyKind {
             PolicyKind::Random => Some(Box::new(random::RandomEvictReference::new(0xF1BC))),
             PolicyKind::LargestFirst => Some(Box::new(size::LargestFirstReference::new())),
             PolicyKind::Slru => Some(Box::new(slru::SlruReference::new())),
+            PolicyKind::BundleMarking => {
+                Some(Box::new(online_bundle::BundleMarkingReference::new()))
+            }
+            PolicyKind::BundleMarkingRand => Some(Box::new(
+                online_bundle::BundleMarkingRandomReference::new(0xF1BC),
+            )),
             PolicyKind::BeladyMin => Some(Box::new(belady::BeladyMinReference::new())),
         }
     }

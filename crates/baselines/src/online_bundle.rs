@@ -1,0 +1,769 @@
+//! Online file-bundle caching with competitive guarantees — the
+//! marking-family algorithms of Qin & Etesami, *Optimal Online Algorithms
+//! for File-Bundle Caching and Generalization to Distributed Caching*
+//! (arXiv 2011.03212), the direct online successor of the source paper.
+//!
+//! # The model
+//!
+//! Queries arrive one *bundle* at a time; a query stalls (costs 1) unless
+//! **every** file of its bundle is resident — the whole-bundle service
+//! cost the source paper's SRM model shares. Classic paging is the
+//! `ℓ = 1` special case. For a cache holding `k` unit files and bundles
+//! of `ℓ` files, the optimal deterministic competitive ratio drops from
+//! the classic `k` to
+//!
+//! ```text
+//!     ρ(k, ℓ) = k − ℓ + 1
+//! ```
+//!
+//! because an online algorithm sees ℓ requests' worth of information at
+//! once. Both directions are exercised by this workspace:
+//!
+//! * **Upper bound.** [`BundleMarking`] generalizes the marking
+//!   algorithm: files of a serviced bundle are *marked*; victims are
+//!   drawn from the unmarked residents only; when a bundle cannot be
+//!   accommodated without evicting a marked file, a new *phase* begins
+//!   and every mark is cleared. Within one phase the first miss marks
+//!   the ℓ files of the phase-opening bundle and every further missed
+//!   query marks at least one previously unmarked file, so a phase
+//!   suffers at most `k − ℓ + 1` missed queries while the offline
+//!   optimum pays at least one miss per phase — the
+//!   [`marking_competitive_bound`] checked end-to-end by the
+//!   `perf_online` harness against the exact offline optimum
+//!   (`fbc_core::offline`).
+//! * **Lower bound.** `fbc_workload::adversary` generates the paper's
+//!   sliding-window construction, which forces *every* online algorithm
+//!   (marking or not) to miss every query while the prefetching offline
+//!   optimum misses once per `k − ℓ + 1` queries — so the ratio is tight.
+//!
+//! Two members of the family are provided: the deterministic
+//! [`BundleMarking`] (LRU flavour: the victim is the least recently
+//! requested unmarked file, ties to the lowest id) and the randomized
+//! [`BundleMarkingRandom`] (uniformly random unmarked victim, seeded and
+//! deterministic per seed). Any unmarked-victim rule inherits the same
+//! per-phase guarantee, so both satisfy the `k − ℓ + 1` bound; the
+//! randomized flavour additionally dodges deterministic worst cases in
+//! expectation, mirroring classic randomized marking.
+//!
+//! The **distributed generalization** needs no second algorithm: the
+//! sharded admission front-end (`fbc_grid::concurrent`, `replica`/`multi`
+//! engines) routes each query to one of `m` independent caches of
+//! capacity `k/m`, and each shard runs the unmodified policy on the
+//! subsequence it is routed — retaining the single-cache guarantee
+//! [`distributed_marking_bound`] `ρ(k/m, ℓ)` per shard against that
+//! shard's own offline optimum. The `perf_online` harness measures
+//! exactly this through `run_concurrent_grid`.
+//!
+//! Sizes generalize bytes-for-files: marks carry file sizes, and the
+//! phase-reset test compares `bytes(marked ∪ bundle)` against the
+//! capacity. The `k − ℓ + 1` arithmetic is stated (and asserted) for
+//! unit-size catalogs, where bytes and file counts coincide.
+
+use fbc_core::bundle::Bundle;
+use fbc_core::cache::CacheState;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::types::{Bytes, FileId};
+use fbc_obs::Obs;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashMap;
+
+use crate::util::{LazyHeap, SortedArena};
+
+/// The provable competitive ratio of any bundle-marking algorithm on a
+/// cache of `cache_files` unit-size files and bundles of at least
+/// `bundle_files` files: `max(1, k − ℓ + 1)`.
+///
+/// This is the *query-miss* (stall-count) competitive ratio against the
+/// prefetching offline optimum of `fbc_core::offline::opt_query_misses`;
+/// it is tight — the sliding-window adversary of
+/// `fbc_workload::adversary` forces it.
+pub fn marking_competitive_bound(cache_files: u64, bundle_files: u64) -> f64 {
+    (cache_files.saturating_sub(bundle_files) + 1).max(1) as f64
+}
+
+/// The per-shard competitive bound of the distributed generalization:
+/// `m` independent caches splitting `cache_files` evenly, each serving
+/// the subsequence routed to it — `ρ(⌊k/m⌋, ℓ)` against each shard's own
+/// offline optimum.
+pub fn distributed_marking_bound(cache_files: u64, shards: u64, bundle_files: u64) -> f64 {
+    marking_competitive_bound(cache_files / shards.max(1), bundle_files)
+}
+
+/// The shared marking state: which residents are marked (and their total
+/// bytes), each file's last-request tick, and the phase counter. The two
+/// policy flavours differ only in how they index the *unmarked* set for
+/// victim selection.
+#[derive(Debug, Clone, Default)]
+struct MarkCore {
+    /// Marked residents mapped to their sizes. Marked files are never
+    /// victims; the map empties on every phase reset.
+    marked: FxHashMap<FileId, Bytes>,
+    marked_bytes: Bytes,
+    /// Tick of each tracked file's most recent appearance in a serviced
+    /// bundle (files never seen rank as tick 0).
+    last_use: FxHashMap<FileId, u64>,
+    tick: u64,
+    phases: u64,
+}
+
+impl MarkCore {
+    /// Bytes the marked set would grow to if `bundle` were marked:
+    /// `bytes(marked ∪ bundle)`.
+    fn marked_with(&self, bundle: &Bundle, catalog: &FileCatalog) -> Bytes {
+        self.marked_bytes
+            + bundle
+                .iter()
+                .filter(|f| !self.marked.contains_key(f))
+                .map(|f| catalog.size(f))
+                .sum::<Bytes>()
+    }
+
+    /// Marks every file of a just-serviced bundle at a fresh tick.
+    /// Returns the tick; the caller removes the files from its unmarked
+    /// index.
+    fn mark_bundle(&mut self, bundle: &Bundle, catalog: &FileCatalog) -> u64 {
+        self.tick += 1;
+        for f in bundle.iter() {
+            if self.marked.insert(f, catalog.size(f)).is_none() {
+                self.marked_bytes += catalog.size(f);
+            }
+            self.last_use.insert(f, self.tick);
+        }
+        self.tick
+    }
+
+    /// Forgets an evicted file entirely.
+    fn forget(&mut self, f: FileId) {
+        if let Some(size) = self.marked.remove(&f) {
+            self.marked_bytes -= size;
+        }
+        self.last_use.remove(&f);
+    }
+
+    fn last_use_of(&self, f: FileId) -> u64 {
+        self.last_use.get(&f).copied().unwrap_or(0)
+    }
+
+    fn clear(&mut self) {
+        self.marked.clear();
+        self.marked_bytes = 0;
+        self.last_use.clear();
+        self.tick = 0;
+        self.phases = 0;
+    }
+}
+
+/// Deterministic bundle-marking (Qin–Etesami, LRU flavour).
+///
+/// Victims are unmarked residents in least-recently-requested order
+/// (ties to the lowest [`FileId`]), maintained incrementally in a
+/// [`LazyHeap`] keyed by last-use tick — `O(log n)` per eviction instead
+/// of the reference twin's full scan.
+#[derive(Debug, Clone, Default)]
+pub struct BundleMarking {
+    core: MarkCore,
+    /// Unmarked residents keyed by last-use tick (never-seen files key 0).
+    unmarked: LazyHeap<u64>,
+    obs: Obs,
+}
+
+impl BundleMarking {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of completed phase resets so far.
+    pub fn phases(&self) -> u64 {
+        self.core.phases
+    }
+
+    /// Number of currently marked files.
+    pub fn marked_files(&self) -> usize {
+        self.core.marked.len()
+    }
+
+    /// Re-tracks residents the indices have lost sight of (policy reset
+    /// while the cache stayed warm, or a cache mutated externally), and
+    /// prunes marks of files no longer resident.
+    fn resync(&mut self, cache: &CacheState) {
+        if self.core.marked.len() + self.unmarked.len() == cache.len() {
+            return;
+        }
+        let core = &mut self.core;
+        let stale: Vec<FileId> = core
+            .marked
+            .keys()
+            .copied()
+            .filter(|&f| !cache.contains(f))
+            .collect();
+        for f in stale {
+            core.forget(f);
+        }
+        for (f, _) in cache.iter() {
+            if !core.marked.contains_key(&f) && !self.unmarked.contains(f) {
+                self.unmarked.update(f, core.last_use_of(f));
+            }
+        }
+    }
+
+    /// Clears every mark (phase reset), moving the previously marked
+    /// files into the unmarked victim index at their last-use ticks.
+    fn begin_phase(&mut self) {
+        self.core.phases += 1;
+        self.obs.incr("marking.phase_resets");
+        let entries: Vec<(FileId, u64)> = self
+            .core
+            .marked
+            .keys()
+            .map(|&f| (f, self.core.last_use_of(f)))
+            .collect();
+        for (f, tick) in entries {
+            self.unmarked.update(f, tick);
+        }
+        self.core.marked.clear();
+        self.core.marked_bytes = 0;
+    }
+}
+
+impl CachePolicy for BundleMarking {
+    fn name(&self) -> &str {
+        "BundleMarking"
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        let oversized = bundle.total_size(catalog) > cache.capacity();
+        if !oversized {
+            self.resync(cache);
+            if self.core.marked_with(bundle, catalog) > cache.capacity() {
+                self.begin_phase();
+            }
+        }
+        let unmarked = &mut self.unmarked;
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            unmarked.choose(cache, bundle)
+        });
+        for &f in &outcome.evicted_files {
+            self.unmarked.remove(f);
+            self.core.forget(f);
+        }
+        if outcome.serviced {
+            self.core.mark_bundle(bundle, catalog);
+            for f in bundle.iter() {
+                self.unmarked.remove(f);
+            }
+        }
+        outcome.record_obs(&self.obs);
+        outcome
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    fn reset(&mut self) {
+        self.core.clear();
+        self.unmarked.clear();
+    }
+}
+
+/// Randomized bundle-marking (Qin–Etesami family): the victim is drawn
+/// uniformly at random among the unmarked evictable residents.
+/// Deterministic per seed — the same RNG-stream discipline as
+/// [`crate::RandomEvict`].
+#[derive(Debug, Clone)]
+pub struct BundleMarkingRandom {
+    core: MarkCore,
+    seed: u64,
+    rng: StdRng,
+    /// Sorted unmarked residents; one RNG draw selects an order statistic.
+    unmarked: SortedArena,
+    /// Reusable exclusion scratch (unmarked files of the in-flight bundle
+    /// plus unmarked pinned files), sorted ascending.
+    excl: Vec<FileId>,
+    obs: Obs,
+}
+
+impl BundleMarkingRandom {
+    /// Creates the policy with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            core: MarkCore::default(),
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            unmarked: SortedArena::new(),
+            excl: Vec::new(),
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Number of completed phase resets so far.
+    pub fn phases(&self) -> u64 {
+        self.core.phases
+    }
+
+    fn resync(&mut self, cache: &CacheState) {
+        if self.core.marked.len() + self.unmarked.len() == cache.len() {
+            return;
+        }
+        let core = &mut self.core;
+        let stale: Vec<FileId> = core
+            .marked
+            .keys()
+            .copied()
+            .filter(|&f| !cache.contains(f))
+            .collect();
+        for f in stale {
+            core.forget(f);
+        }
+        self.unmarked.clear();
+        for (f, _) in cache.iter() {
+            if !core.marked.contains_key(&f) {
+                self.unmarked.insert(f);
+            }
+        }
+    }
+
+    fn begin_phase(&mut self) {
+        self.core.phases += 1;
+        self.obs.incr("marking.phase_resets");
+        for &f in self.core.marked.keys() {
+            self.unmarked.insert(f);
+        }
+        self.core.marked.clear();
+        self.core.marked_bytes = 0;
+    }
+}
+
+impl CachePolicy for BundleMarkingRandom {
+    fn name(&self) -> &str {
+        "BundleMarking(rand)"
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        let oversized = bundle.total_size(catalog) > cache.capacity();
+        if !oversized {
+            self.resync(cache);
+            if self.core.marked_with(bundle, catalog) > cache.capacity() {
+                self.begin_phase();
+            }
+        }
+        let core = &self.core;
+        let rng = &mut self.rng;
+        let arena = &mut self.unmarked;
+        let excl = &mut self.excl;
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            // Exclusion list: unmarked files of the in-flight bundle plus
+            // unmarked pinned files — exactly the arena members that are
+            // not evictable. Merged ascending and deduplicated, matching
+            // `select_excluding`'s contract.
+            excl.clear();
+            let unmarked_of = |f: FileId| cache.contains(f) && !core.marked.contains_key(&f);
+            let mut pins = cache.pinned_files().filter(|&p| unmarked_of(p)).peekable();
+            for f in bundle.iter().filter(|&f| unmarked_of(f)) {
+                while let Some(&p) = pins.peek() {
+                    if p < f {
+                        excl.push(p);
+                        pins.next();
+                    } else if p == f {
+                        pins.next();
+                    } else {
+                        break;
+                    }
+                }
+                excl.push(f);
+            }
+            excl.extend(pins);
+
+            let count = arena.len() - excl.len();
+            if count == 0 {
+                // The reference returns before drawing; the RNG stream
+                // must not advance here either.
+                return None;
+            }
+            let idx = rng.gen_range(0..count);
+            let victim = arena.select_excluding(idx, excl);
+            arena.remove(victim);
+            Some(victim)
+        });
+        for &f in &outcome.evicted_files {
+            self.unmarked.remove(f);
+            self.core.forget(f);
+        }
+        if outcome.serviced {
+            self.core.mark_bundle(bundle, catalog);
+            for f in bundle.iter() {
+                self.unmarked.remove(f);
+            }
+        }
+        outcome.record_obs(&self.obs);
+        outcome
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    fn reset(&mut self) {
+        self.core.clear();
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.unmarked.clear();
+        self.excl.clear();
+    }
+}
+
+/// The full-scan deterministic bundle-marking, retained so the
+/// differential suite can pin [`BundleMarking`]'s lazy-heap victim order
+/// (least tick, ties to lowest id) against a scan over the cache.
+#[cfg(any(test, feature = "reference-kernels"))]
+#[derive(Debug, Clone, Default)]
+pub struct BundleMarkingReference {
+    core: MarkCore,
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl BundleMarkingReference {
+    /// Creates the reference policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of completed phase resets so far.
+    pub fn phases(&self) -> u64 {
+        self.core.phases
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl CachePolicy for BundleMarkingReference {
+    fn name(&self) -> &str {
+        "BundleMarking"
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        let oversized = bundle.total_size(catalog) > cache.capacity();
+        if !oversized {
+            let core = &mut self.core;
+            let stale: Vec<FileId> = core
+                .marked
+                .keys()
+                .copied()
+                .filter(|&f| !cache.contains(f))
+                .collect();
+            for f in stale {
+                core.forget(f);
+            }
+            if core.marked_with(bundle, catalog) > cache.capacity() {
+                core.phases += 1;
+                core.marked.clear();
+                core.marked_bytes = 0;
+            }
+        }
+        let core = &mut self.core;
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            cache
+                .iter()
+                .map(|(f, _)| f)
+                .filter(|&f| {
+                    !core.marked.contains_key(&f) && !bundle.contains(f) && !cache.is_pinned(f)
+                })
+                .min_by_key(|&f| (core.last_use_of(f), f))
+        });
+        for &f in &outcome.evicted_files {
+            self.core.forget(f);
+        }
+        if outcome.serviced {
+            self.core.mark_bundle(bundle, catalog);
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.core.clear();
+    }
+}
+
+/// The sort-per-eviction randomized bundle-marking, retained so the
+/// differential suite can pin [`BundleMarkingRandom`]'s order-statistic
+/// draw replay against it.
+#[cfg(any(test, feature = "reference-kernels"))]
+#[derive(Debug, Clone)]
+pub struct BundleMarkingRandomReference {
+    core: MarkCore,
+    seed: u64,
+    rng: StdRng,
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl BundleMarkingRandomReference {
+    /// Creates the reference policy with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            core: MarkCore::default(),
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+impl CachePolicy for BundleMarkingRandomReference {
+    fn name(&self) -> &str {
+        "BundleMarking(rand)"
+    }
+
+    fn handle(
+        &mut self,
+        bundle: &Bundle,
+        cache: &mut CacheState,
+        catalog: &FileCatalog,
+    ) -> RequestOutcome {
+        let oversized = bundle.total_size(catalog) > cache.capacity();
+        if !oversized {
+            let core = &mut self.core;
+            let stale: Vec<FileId> = core
+                .marked
+                .keys()
+                .copied()
+                .filter(|&f| !cache.contains(f))
+                .collect();
+            for f in stale {
+                core.forget(f);
+            }
+            if core.marked_with(bundle, catalog) > cache.capacity() {
+                core.phases += 1;
+                core.marked.clear();
+                core.marked_bytes = 0;
+            }
+        }
+        let core = &self.core;
+        let rng = &mut self.rng;
+        let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
+            let mut candidates: Vec<FileId> = cache
+                .iter()
+                .map(|(f, _)| f)
+                .filter(|&f| {
+                    !core.marked.contains_key(&f) && !bundle.contains(f) && !cache.is_pinned(f)
+                })
+                .collect();
+            if candidates.is_empty() {
+                return None;
+            }
+            candidates.sort_unstable();
+            Some(candidates[rng.gen_range(0..candidates.len())])
+        });
+        for &f in &outcome.evicted_files {
+            self.core.forget(f);
+        }
+        if outcome.serviced {
+            self.core.mark_bundle(bundle, catalog);
+        }
+        outcome
+    }
+
+    fn reset(&mut self) {
+        self.core.clear();
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(ids: &[u32]) -> Bundle {
+        Bundle::from_raw(ids.iter().copied())
+    }
+
+    fn unit_catalog(n: usize) -> FileCatalog {
+        FileCatalog::from_sizes(vec![1; n])
+    }
+
+    #[test]
+    fn bounds() {
+        assert_eq!(marking_competitive_bound(4, 2), 3.0);
+        assert_eq!(marking_competitive_bound(100, 1), 100.0); // classic paging
+        assert_eq!(marking_competitive_bound(2, 5), 1.0); // floor at 1
+        assert_eq!(distributed_marking_bound(100, 4, 5), 21.0);
+        assert_eq!(distributed_marking_bound(100, 1, 5), 96.0);
+    }
+
+    #[test]
+    fn phase_reset_clears_marks_and_evicts_oldest_unmarked_first() {
+        let catalog = unit_catalog(8);
+        let mut cache = CacheState::new(4);
+        let mut p = BundleMarking::new();
+        p.handle(&b(&[0, 1]), &mut cache, &catalog);
+        p.handle(&b(&[2, 3]), &mut cache, &catalog);
+        assert_eq!(p.marked_files(), 4);
+        assert_eq!(p.phases(), 0);
+        // {4,5} cannot fit next to 4 marked bytes: phase reset, then the
+        // least-recently-requested unmarked files (f0, f1) are evicted.
+        let out = p.handle(&b(&[4, 5]), &mut cache, &catalog);
+        assert!(out.serviced);
+        assert_eq!(p.phases(), 1);
+        assert_eq!(out.evicted_files, vec![FileId(0), FileId(1)]);
+        assert_eq!(p.marked_files(), 2); // the new phase's bundle
+        assert!(cache.contains(FileId(2)) && cache.contains(FileId(3)));
+    }
+
+    #[test]
+    fn marked_files_survive_until_the_phase_ends() {
+        let catalog = unit_catalog(8);
+        let mut cache = CacheState::new(5);
+        let mut p = BundleMarking::new();
+        p.handle(&b(&[0, 1]), &mut cache, &catalog);
+        p.handle(&b(&[2, 3]), &mut cache, &catalog);
+        // One byte of slack: {4} fits without a reset and without evicting.
+        let out = p.handle(&b(&[4]), &mut cache, &catalog);
+        assert_eq!(p.phases(), 0);
+        assert!(out.evicted_files.is_empty());
+        // {5} overflows the marked set: reset, and the victim is the
+        // oldest unmarked file (f0 at tick 1), not a marked one.
+        let out = p.handle(&b(&[5]), &mut cache, &catalog);
+        assert_eq!(p.phases(), 1);
+        assert_eq!(out.evicted_files, vec![FileId(0)]);
+    }
+
+    #[test]
+    fn a_hit_marks_its_files() {
+        let catalog = unit_catalog(8);
+        let mut cache = CacheState::new(4);
+        let mut p = BundleMarking::new();
+        p.handle(&b(&[0, 1]), &mut cache, &catalog);
+        p.handle(&b(&[2, 3]), &mut cache, &catalog);
+        let out = p.handle(&b(&[0, 1]), &mut cache, &catalog);
+        assert!(out.hit);
+        // The hit refreshed f0/f1's recency; after the reset forced by
+        // {4,5}, the oldest unmarked files are now f2/f3.
+        let out = p.handle(&b(&[4, 5]), &mut cache, &catalog);
+        assert_eq!(out.evicted_files, vec![FileId(2), FileId(3)]);
+    }
+
+    #[test]
+    fn oversized_bundles_change_nothing() {
+        let catalog = FileCatalog::from_sizes(vec![3, 3, 3]);
+        let mut cache = CacheState::new(4);
+        let mut p = BundleMarking::new();
+        p.handle(&b(&[0]), &mut cache, &catalog);
+        let out = p.handle(&b(&[1, 2]), &mut cache, &catalog);
+        assert!(!out.serviced);
+        assert_eq!(p.phases(), 0, "oversized bundle must not reset the phase");
+        assert_eq!(p.marked_files(), 1);
+    }
+
+    #[test]
+    fn pinned_unmarked_files_are_not_victims() {
+        let catalog = unit_catalog(6);
+        let mut cache = CacheState::new(3);
+        let mut p = BundleMarking::new();
+        p.handle(&b(&[0, 1, 2]), &mut cache, &catalog);
+        cache.pin(FileId(0)).unwrap();
+        // New phase: {3,4} overflows marked {0,1,2}; f0 is pinned so the
+        // victims are f1 and f2.
+        let out = p.handle(&b(&[3, 4]), &mut cache, &catalog);
+        assert!(out.serviced);
+        assert_eq!(out.evicted_files, vec![FileId(1), FileId(2)]);
+        assert!(cache.contains(FileId(0)));
+    }
+
+    #[test]
+    fn warm_cache_after_reset_is_resynced() {
+        let catalog = unit_catalog(6);
+        let mut cache = CacheState::new(3);
+        let mut p = BundleMarking::new();
+        p.handle(&b(&[0, 1, 2]), &mut cache, &catalog);
+        p.reset(); // policy state gone, cache still warm
+        let out = p.handle(&b(&[3]), &mut cache, &catalog);
+        assert!(out.serviced, "resync must re-track warm residents");
+        assert_eq!(
+            out.evicted_files,
+            vec![FileId(0)],
+            "ties at tick 0 break by id"
+        );
+    }
+
+    #[test]
+    fn randomized_is_deterministic_per_seed_and_respects_marks() {
+        let catalog = unit_catalog(16);
+        let mut a = BundleMarkingRandom::new(7);
+        let mut b2 = BundleMarkingRandom::new(7);
+        let mut ca = CacheState::new(6);
+        let mut cb = CacheState::new(6);
+        let mut state = 0xABCDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let k = (next() % 3 + 1) as usize;
+            let r = Bundle::from_raw((0..k).map(|_| (next() % 16) as u32));
+            let oa = a.handle(&r, &mut ca, &catalog);
+            let ob = b2.handle(&r, &mut cb, &catalog);
+            assert_eq!(oa, ob);
+            assert!(ca.check_invariants());
+        }
+        assert_eq!(a.phases(), b2.phases());
+        assert!(a.phases() > 0, "the workload must exercise phase resets");
+    }
+
+    /// The lazy-heap victim order must replay the reference scan exactly,
+    /// and the randomized arena draw must replay the reference's
+    /// sort-and-index stream, under pinning and policy resets.
+    #[test]
+    fn tracks_reference_twins() {
+        let catalog = FileCatalog::from_sizes((0..15).map(|i| (i % 4) + 1).collect());
+        let mut state = 0x22BBu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut fast = BundleMarking::new();
+        let mut slow = BundleMarkingReference::new();
+        let mut rfast = BundleMarkingRandom::new(0xF1BC);
+        let mut rslow = BundleMarkingRandomReference::new(0xF1BC);
+        let mut caches: Vec<CacheState> = (0..4).map(|_| CacheState::new(9)).collect();
+        for i in 0..400 {
+            let k = (next() % 3 + 1) as usize;
+            let r = Bundle::from_raw((0..k).map(|_| (next() % 15) as u32));
+            let (c0, rest) = caches.split_first_mut().unwrap();
+            let (c1, rest) = rest.split_first_mut().unwrap();
+            let (c2, rest) = rest.split_first_mut().unwrap();
+            let c3 = &mut rest[0];
+            let a = fast.handle(&r, c0, &catalog);
+            let b2 = slow.handle(&r, c1, &catalog);
+            assert_eq!(a, b2, "deterministic flavour diverged at request {i}");
+            assert_eq!(fast.phases(), slow.phases());
+            let ra = rfast.handle(&r, c2, &catalog);
+            let rb = rslow.handle(&r, c3, &catalog);
+            assert_eq!(ra, rb, "randomized flavour diverged at request {i}");
+            if i == 199 {
+                fast.reset();
+                slow.reset();
+                rfast.reset();
+                rslow.reset();
+            }
+        }
+    }
+}

@@ -4,7 +4,7 @@ use fbc_baselines::PolicyKind;
 use fbc_core::policy::CachePolicy;
 
 /// All accepted policy names (canonical spellings).
-pub const POLICY_NAMES: [&str; 13] = [
+pub const POLICY_NAMES: [&str; 15] = [
     "optfilebundle",
     "landlord",
     "landlord-size",
@@ -17,6 +17,8 @@ pub const POLICY_NAMES: [&str; 13] = [
     "random",
     "size",
     "slru",
+    "marking",
+    "marking-rand",
     "belady",
 ];
 
@@ -38,6 +40,8 @@ pub fn policy_kind_by_name(name: &str) -> Option<PolicyKind> {
         "random" | "rand" => PolicyKind::Random,
         "size" | "largest" => PolicyKind::LargestFirst,
         "slru" => PolicyKind::Slru,
+        "marking" | "bundle-marking" | "qe" => PolicyKind::BundleMarking,
+        "marking-rand" | "bundle-marking-rand" | "qe-rand" => PolicyKind::BundleMarkingRand,
         "belady" | "min" | "opt-offline" => PolicyKind::BeladyMin,
         _ => return None,
     })

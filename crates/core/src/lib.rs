@@ -59,6 +59,7 @@ pub mod history;
 pub mod index;
 pub mod instance;
 pub mod knapsack;
+pub mod offline;
 pub mod optfilebundle;
 pub mod policy;
 pub mod resident;

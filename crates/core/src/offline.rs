@@ -1,0 +1,251 @@
+//! Exact offline optimum for the *query-miss* (stall-count) cost model —
+//! the yardstick of the online bundle-caching competitive analysis
+//! (Qin–Etesami, arXiv 2011.03212; see `fbc_baselines::online_bundle`).
+//!
+//! # The cost model
+//!
+//! A query (bundle request) *misses* iff at least one of its files is not
+//! resident; every miss costs 1, regardless of how many bytes move. On a
+//! miss the offline algorithm may reorganize the whole cache (it is
+//! prefetching and clairvoyant); between two consecutive misses the cache
+//! is static. A schedule is therefore a partition of the trace into
+//! maximal runs of hits opened by one miss each: every bundle inside one
+//! run must be resident *simultaneously*, i.e. the run's file-union must
+//! fit in the capacity. Minimizing misses = covering the trace with the
+//! fewest such feasible segments.
+//!
+//! Segment feasibility is prefix-closed (shrinking a feasible segment
+//! keeps it feasible), so the classic greedy argument applies: from any
+//! start, extending the segment as far as it can reach dominates every
+//! other choice. [`opt_query_misses`] implements that furthest-reach
+//! greedy — provably optimal and linear-ish in total trace size — and the
+//! memoized search [`opt_query_misses_reference`] re-derives the optimum
+//! by trying *every* feasible segment end, pinning the greedy on small
+//! instances.
+//!
+//! Bundles larger than the capacity can never be serviced by any
+//! algorithm; each costs one miss of its own and never joins a segment.
+
+use crate::bundle::Bundle;
+use crate::catalog::FileCatalog;
+use crate::types::Bytes;
+use rustc_hash::FxHashSet;
+
+/// Minimum number of missed queries any (clairvoyant, prefetching)
+/// algorithm must pay to serve `trace` with a cache of `capacity` bytes,
+/// starting cold.
+///
+/// This is the denominator of the competitive ratios measured by the
+/// `perf_online` harness and asserted against
+/// `fbc_baselines::online_bundle::marking_competitive_bound`.
+pub fn opt_query_misses(trace: &[Bundle], catalog: &FileCatalog, capacity: Bytes) -> u64 {
+    let mut misses = 0u64;
+    let mut i = 0usize;
+    let mut union: FxHashSet<crate::types::FileId> = FxHashSet::default();
+    while i < trace.len() {
+        if trace[i].total_size(catalog) > capacity {
+            // Unserviceable by anyone: one stall, segment of its own.
+            misses += 1;
+            i += 1;
+            continue;
+        }
+        // Open a segment at `i` and extend it as far as the union fits.
+        misses += 1;
+        union.clear();
+        let mut bytes = 0u64;
+        let mut j = i;
+        while j < trace.len() {
+            for f in trace[j].iter() {
+                if union.insert(f) {
+                    bytes += catalog.size(f);
+                }
+            }
+            if bytes > capacity {
+                // trace[j] broke the segment; no rollback needed — both
+                // accumulators restart at the next segment.
+                break;
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    misses
+}
+
+/// Exhaustive-search twin of [`opt_query_misses`]: memoized minimization
+/// over *every* feasible segment end, not just the furthest reach.
+/// Exponentially safer but quadratic — for differential tests on tiny
+/// instances only.
+#[cfg(any(test, feature = "reference-kernels"))]
+pub fn opt_query_misses_reference(trace: &[Bundle], catalog: &FileCatalog, capacity: Bytes) -> u64 {
+    fn solve(
+        i: usize,
+        trace: &[Bundle],
+        catalog: &FileCatalog,
+        capacity: Bytes,
+        memo: &mut [Option<u64>],
+    ) -> u64 {
+        if i >= trace.len() {
+            return 0;
+        }
+        if let Some(v) = memo[i] {
+            return v;
+        }
+        let mut best = u64::MAX;
+        let mut union: FxHashSet<crate::types::FileId> = FxHashSet::default();
+        let mut bytes = 0u64;
+        let mut j = i;
+        while j < trace.len() {
+            for f in trace[j].iter() {
+                if union.insert(f) {
+                    bytes += catalog.size(f);
+                }
+            }
+            if bytes > capacity {
+                break;
+            }
+            best = best.min(1 + solve(j + 1, trace, catalog, capacity, memo));
+            j += 1;
+        }
+        if best == u64::MAX {
+            // trace[i] alone is oversized: forced stand-alone stall.
+            best = 1 + solve(i + 1, trace, catalog, capacity, memo);
+        }
+        memo[i] = Some(best);
+        best
+    }
+    let mut memo = vec![None; trace.len()];
+    solve(0, trace, catalog, capacity, &mut memo)
+}
+
+/// Competitive ratio `online / opt` with defined values on the zero
+/// denominators the adversarial harness can produce:
+///
+/// * both costs zero → `1.0` (the algorithm matched the optimum);
+/// * `opt == 0 < online` → `f64::INFINITY` (unboundedly worse — never
+///   `NaN`);
+/// * otherwise the plain quotient.
+///
+/// Works for query counts and byte counts alike.
+pub fn competitive_ratio(online: f64, opt: f64) -> f64 {
+    if opt <= 0.0 {
+        if online <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        online / opt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FileId;
+
+    fn b(ids: &[u32]) -> Bundle {
+        Bundle::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn empty_trace_costs_nothing() {
+        let catalog = FileCatalog::from_sizes(vec![1; 4]);
+        assert_eq!(opt_query_misses(&[], &catalog, 2), 0);
+    }
+
+    #[test]
+    fn single_segment_when_everything_fits() {
+        let catalog = FileCatalog::from_sizes(vec![1; 4]);
+        let trace = vec![b(&[0, 1]), b(&[2]), b(&[0, 3]), b(&[1, 2])];
+        assert_eq!(opt_query_misses(&trace, &catalog, 4), 1);
+    }
+
+    #[test]
+    fn sliding_window_costs_one_per_k_minus_l_plus_1() {
+        // The adversary's lower-bound sequence: k=4, l=2, windows
+        // {j, .., j+1} over n=6 files. OPT loads k files per miss and
+        // survives k−l+1 = 3 queries.
+        let catalog = FileCatalog::from_sizes(vec![1; 6]);
+        let trace: Vec<Bundle> = (0..9u32).map(|j| b(&[j % 6, (j + 1) % 6])).collect();
+        assert_eq!(opt_query_misses(&trace, &catalog, 4), 3);
+    }
+
+    #[test]
+    fn oversized_bundles_are_stand_alone_stalls() {
+        let catalog = FileCatalog::from_sizes(vec![3, 3, 1, 1]);
+        let trace = vec![b(&[2, 3]), b(&[0, 1]), b(&[2, 3])];
+        // {0,1} is 6 bytes > 4: its own stall; the {2,3} repeats cannot
+        // straddle it (the cache only changes on a miss, but the segment
+        // around an infeasible bundle must break).
+        assert_eq!(opt_query_misses(&trace, &catalog, 4), 3);
+        assert_eq!(opt_query_misses_reference(&trace, &catalog, 4), 3);
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_search_on_random_tiny_instances() {
+        let mut state = 0x0FF1u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..300 {
+            let n = (next() % 5 + 2) as usize; // 2..=6 files
+            let sizes: Vec<u64> = (0..n).map(|_| next() % 3 + 1).collect();
+            let catalog = FileCatalog::from_sizes(sizes);
+            let capacity = next() % 6 + 2;
+            let t = (next() % 10 + 1) as usize;
+            let trace: Vec<Bundle> = (0..t)
+                .map(|_| {
+                    let k = (next() % 3 + 1) as usize;
+                    Bundle::from_raw((0..k).map(|_| (next() % n as u64) as u32))
+                })
+                .collect();
+            let fast = opt_query_misses(&trace, &catalog, capacity);
+            let slow = opt_query_misses_reference(&trace, &catalog, capacity);
+            assert_eq!(fast, slow, "case {case}: greedy diverged from search");
+        }
+    }
+
+    #[test]
+    fn opt_lower_bounds_every_policy_run() {
+        // Sanity: no online policy can beat OPT on misses.
+        use crate::cache::CacheState;
+        use crate::policy::CachePolicy;
+        let catalog = FileCatalog::from_sizes(vec![1; 10]);
+        let mut state = 0x51EDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let trace: Vec<Bundle> = (0..100)
+            .map(|_| {
+                let k = (next() % 3 + 1) as usize;
+                Bundle::from_raw((0..k).map(|_| (next() % 10) as u32))
+            })
+            .collect();
+        let mut policy = crate::optfilebundle::OptFileBundle::new();
+        let mut cache = CacheState::new(5);
+        let mut online = 0u64;
+        for r in &trace {
+            if !policy.handle(r, &mut cache, &catalog).hit {
+                online += 1;
+            }
+        }
+        let opt = opt_query_misses(&trace, &catalog, 5);
+        assert!(opt <= online, "OPT ({opt}) cannot exceed online ({online})");
+        let _ = FileId(0);
+    }
+
+    #[test]
+    fn ratio_zero_denominators_are_defined() {
+        assert_eq!(competitive_ratio(0.0, 0.0), 1.0);
+        assert_eq!(competitive_ratio(5.0, 0.0), f64::INFINITY);
+        assert_eq!(competitive_ratio(6.0, 2.0), 3.0);
+        assert!(!competitive_ratio(0.0, 0.0).is_nan());
+    }
+}

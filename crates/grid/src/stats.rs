@@ -275,6 +275,50 @@ mod tests {
         r
     }
 
+    /// Regression (zero-denominator audit): every report-path quantity
+    /// must be a defined, finite-or-conventional value on a run with zero
+    /// attempts — no NaN anywhere the competitive-ratio harness or the
+    /// grid reports can read.
+    #[test]
+    fn empty_run_reports_defined_values() {
+        let s = GridStats::default();
+        assert_eq!(s.availability(), 1.0, "no serviceable jobs → 1.0");
+        assert!(!s.availability().is_nan());
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.cache.byte_miss_ratio(), 0.0);
+        assert_eq!(s.cache.byte_hit_ratio(), 0.0);
+        assert_eq!(s.cache.request_hit_ratio(), 0.0);
+        assert_eq!(s.cache.request_miss_ratio(), 0.0);
+        assert_eq!(s.mean_response(), SimDuration::default());
+    }
+
+    /// Regression (zero-denominator audit): merging empty shards must not
+    /// manufacture NaN — an all-empty merge stays at the empty-run
+    /// conventions, and empty shards merged into a live one leave its
+    /// ratios untouched.
+    #[test]
+    fn merge_shard_of_empty_shards_keeps_values_defined() {
+        let mut merged = GridStats::default();
+        for _ in 0..4 {
+            merged.merge_shard(&GridStats::default());
+        }
+        assert_eq!(merged.availability(), 1.0);
+        assert!(!merged.availability().is_nan());
+        assert_eq!(merged.throughput(), 0.0);
+        assert_eq!(merged.cache.byte_miss_ratio(), 0.0);
+
+        let mut live = GridStats {
+            completed: 3,
+            failed: 1,
+            responses: responses([1, 2, 3]),
+            makespan: SimDuration::from_secs(6),
+            ..GridStats::default()
+        };
+        live.merge_shard(&GridStats::default());
+        assert_eq!(live.availability(), 0.75);
+        assert!((live.throughput() - 0.5).abs() < 1e-12);
+    }
+
     #[test]
     fn response_time_summaries() {
         let s = GridStats {

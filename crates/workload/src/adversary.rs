@@ -1,0 +1,144 @@
+//! Adversarial request sequences for the online bundle-caching
+//! competitive analysis (Qin–Etesami, arXiv 2011.03212).
+//!
+//! Two constructions, both on unit-size catalogs so byte capacity and
+//! file count coincide:
+//!
+//! * [`sliding_window`] — the paper's lower-bound sequence. Over
+//!   `n = k + 1` files, query `t` requests the ℓ-file window
+//!   `{f_{t mod n}, …, f_{(t+ℓ−1) mod n}}`. Consecutive windows overlap
+//!   in ℓ−1 files but the sequence cycles through all `k+1` files, so
+//!   *any* deterministic online algorithm with `k` capacity can be made
+//!   to miss every query, while the prefetching offline optimum pays
+//!   once per `k − ℓ + 1` queries ([`sliding_window_opt_misses`]).
+//!   Measured ratio for the marking policies ≈ `k − ℓ + 1` — the bound
+//!   is tight.
+//! * [`round_robin_phases`] — a benign phase workload: disjoint working
+//!   sets of `k` files requested round-robin in runs, switching to a
+//!   fresh working set each phase. Marking policies pay exactly one
+//!   phase-opening burst per switch and then hit; popularity-blind
+//!   baselines churn. Used for the stochastic-side comparison next to
+//!   the adversarial one.
+//!
+//! Both generators return plain `Vec<Bundle>` traces; pair them with
+//! [`unit_catalog`] and feed them to `fbc-sim`, the grid engines, or
+//! `fbc_core::offline::opt_query_misses`.
+
+use fbc_core::bundle::Bundle;
+use fbc_core::catalog::FileCatalog;
+
+/// A unit-size catalog of `n` files — the setting in which the
+/// `k − ℓ + 1` arithmetic of the competitive bound is exact.
+pub fn unit_catalog(n: usize) -> FileCatalog {
+    FileCatalog::from_sizes(vec![1; n])
+}
+
+/// The lower-bound sliding-window sequence: `queries` windows of
+/// `bundle_files` consecutive files over a universe of
+/// `cache_files + 1` files (one more than fits — the classic paging
+/// adversary generalized to bundles).
+///
+/// # Panics
+///
+/// Panics if `bundle_files` is 0 or exceeds `cache_files`.
+pub fn sliding_window(cache_files: u32, bundle_files: u32, queries: usize) -> Vec<Bundle> {
+    assert!(bundle_files >= 1, "bundles must hold at least one file");
+    assert!(
+        bundle_files <= cache_files,
+        "bundles larger than the cache are unserviceable"
+    );
+    let n = cache_files + 1;
+    (0..queries)
+        .map(|t| {
+            let start = (t as u32) % n;
+            Bundle::from_raw((0..bundle_files).map(|o| (start + o) % n))
+        })
+        .collect()
+}
+
+/// The offline optimum of [`sliding_window`] in closed form:
+/// `⌈queries / (k − ℓ + 1)⌉`. Each offline miss prefetches the next
+/// `k − ℓ + 1` windows' union (exactly `k` files) and then hits until
+/// the window slides out of it.
+pub fn sliding_window_opt_misses(cache_files: u32, bundle_files: u32, queries: usize) -> u64 {
+    let stride = (cache_files - bundle_files + 1).max(1) as u64;
+    (queries as u64).div_ceil(stride)
+}
+
+/// Round-robin phase workload: `phases` disjoint working sets of
+/// `cache_files` files each; within a phase, bundles of `bundle_files`
+/// consecutive files of the working set are requested round-robin for
+/// `queries_per_phase` queries. The catalog must hold
+/// `phases * cache_files` files (see [`unit_catalog`]).
+pub fn round_robin_phases(
+    cache_files: u32,
+    bundle_files: u32,
+    phases: u32,
+    queries_per_phase: usize,
+) -> Vec<Bundle> {
+    assert!(bundle_files >= 1 && bundle_files <= cache_files);
+    let mut trace = Vec::with_capacity(phases as usize * queries_per_phase);
+    for p in 0..phases {
+        let base = p * cache_files;
+        for q in 0..queries_per_phase {
+            let start = (q as u32 * bundle_files) % cache_files;
+            trace.push(Bundle::from_raw(
+                (0..bundle_files).map(|o| base + (start + o) % cache_files),
+            ));
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbc_core::offline::opt_query_misses;
+
+    #[test]
+    fn sliding_window_shape() {
+        let trace = sliding_window(4, 2, 6);
+        assert_eq!(trace.len(), 6);
+        for (t, b) in trace.iter().enumerate() {
+            assert_eq!(b.len(), 2, "window {t} wrong size");
+        }
+        // Windows slide by one and wrap at n = 5.
+        assert!(trace[0].contains(fbc_core::types::FileId(0)));
+        assert!(trace[4].contains(fbc_core::types::FileId(4)));
+        assert!(trace[4].contains(fbc_core::types::FileId(0)));
+    }
+
+    #[test]
+    fn closed_form_opt_matches_exact_offline_opt() {
+        for (k, l) in [(4u32, 2u32), (6, 3), (8, 1), (5, 5)] {
+            for t in [1usize, 3, 7, 10, 23] {
+                let trace = sliding_window(k, l, t);
+                let catalog = unit_catalog(k as usize + 1);
+                assert_eq!(
+                    opt_query_misses(&trace, &catalog, k as u64),
+                    sliding_window_opt_misses(k, l, t),
+                    "k={k} l={l} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_stays_inside_its_phase_working_set() {
+        let trace = round_robin_phases(4, 2, 3, 8);
+        assert_eq!(trace.len(), 24);
+        for (i, b) in trace.iter().enumerate() {
+            let phase = (i / 8) as u32;
+            for f in b.iter() {
+                assert!(
+                    (phase * 4..(phase + 1) * 4).contains(&f.0),
+                    "query {i} escaped its working set"
+                );
+            }
+        }
+        // Each phase's working set fits the cache: offline OPT pays one
+        // miss per phase.
+        let catalog = unit_catalog(12);
+        assert_eq!(opt_query_misses(&trace, &catalog, 4), 3);
+    }
+}

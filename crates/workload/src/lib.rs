@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod filepool;
 pub mod popularity;
 pub mod requestpool;
@@ -38,6 +39,7 @@ pub mod scenarios {
     pub use henp::{HenpConfig, HenpScenario};
 }
 
+pub use adversary::{round_robin_phases, sliding_window, sliding_window_opt_misses, unit_catalog};
 pub use filepool::{generate_catalog, FilePoolConfig};
 pub use popularity::{Popularity, PopularitySampler};
 pub use requestpool::{generate_request_pool, mean_request_bytes, RequestPoolConfig};

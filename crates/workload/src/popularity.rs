@@ -68,9 +68,14 @@ impl PopularitySampler {
         let mut acc = 0.0;
         for w in &weights {
             acc += w / total;
-            cdf.push(acc);
+            // Clamp every entry, not just the last: summation drift can
+            // push `acc` past 1.0 *before* the final rank, and pinning
+            // only the terminal entry to 1.0 would then leave the top
+            // rank with negative mass (pmf(n−1) = 1.0 − cdf[n−2] < 0).
+            // Clamping preserves monotonicity, so pmf stays ≥ 0.
+            cdf.push(acc.min(1.0));
         }
-        // Guard against floating-point drift at the top end.
+        // The top end is exact: P(rank ≤ n−1) = 1.
         *cdf.last_mut().expect("n > 0") = 1.0;
         Self { cdf, popularity }
     }
@@ -189,6 +194,81 @@ mod tests {
     #[should_panic(expected = "empty pool")]
     fn empty_pool_rejected() {
         let _ = PopularitySampler::new(Popularity::Uniform, 0);
+    }
+
+    /// Regression (top-end drift): the CDF is clamped while it is built,
+    /// so accumulated rounding can never leave the last rank with
+    /// negative mass. Checked across pool sizes and θ extremes.
+    #[test]
+    fn pmf_is_nonnegative_and_cdf_monotone_at_extreme_theta() {
+        let models = [
+            Popularity::Uniform,
+            Popularity::Zipf { theta: 1e-3 },
+            Popularity::Zipf { theta: 0.5 },
+            Popularity::zipf(),
+            Popularity::Zipf { theta: 4.0 },
+            Popularity::Zipf { theta: 16.0 },
+        ];
+        for model in models {
+            for n in [1usize, 2, 3, 17, 1_000, 100_000] {
+                let s = PopularitySampler::new(model, n);
+                let mut prev = 0.0;
+                for i in 0..n {
+                    assert!(
+                        s.pmf(i) >= 0.0,
+                        "{} n={n}: pmf({i}) = {} is negative",
+                        model.label(),
+                        s.pmf(i)
+                    );
+                    assert!(
+                        s.cdf[i] >= prev && s.cdf[i] <= 1.0,
+                        "{} n={n}: cdf not monotone in [0,1] at {i}",
+                        model.label()
+                    );
+                    prev = s.cdf[i];
+                }
+                assert_eq!(s.cdf[n - 1], 1.0);
+            }
+        }
+    }
+
+    /// A generator pinned at the maximum draw (`u` as close to 1.0 as
+    /// f64 sampling produces) must select the last rank, never panic or
+    /// fall out of range — even at θ extremes where the top ranks carry
+    /// almost no mass.
+    #[test]
+    fn sample_at_u_near_one_lands_on_the_last_rank() {
+        struct MaxRng;
+        impl rand::RngCore for MaxRng {
+            fn next_u32(&mut self) -> u32 {
+                u32::MAX
+            }
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        for n in [1usize, 2, 100] {
+            let s = PopularitySampler::new(Popularity::Uniform, n);
+            assert_eq!(
+                s.sample(&mut MaxRng),
+                n - 1,
+                "uniform n={n}: u≈1.0 must map to the last rank"
+            );
+        }
+        // At extreme skew the top ranks can carry less mass than one ulp
+        // at 1.0, so the maximum draw legitimately lands on an earlier
+        // rank — but always in range, and never on a zero-mass rank.
+        for theta in [1e-3, 1.0, 16.0] {
+            for n in [1usize, 2, 100] {
+                let s = PopularitySampler::new(Popularity::Zipf { theta }, n);
+                let r = s.sample(&mut MaxRng);
+                assert!(r < n, "theta={theta} n={n}: rank {r} out of range");
+                assert!(
+                    s.pmf(r) > 0.0,
+                    "theta={theta} n={n}: u≈1.0 landed on zero-mass rank {r}"
+                );
+            }
+        }
     }
 
     #[test]
