@@ -13,7 +13,7 @@
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
-use fbc_core::policy::{CachePolicy, RequestOutcome};
+use fbc_core::policy::{CachePolicy, OutcomeObsSlots, RequestOutcome};
 use fbc_obs::Obs;
 use std::collections::HashMap;
 
@@ -26,6 +26,8 @@ pub struct AdmissionGate<P> {
     /// Observability sink for bypassed (streamed) requests; admitted
     /// requests are recorded by the wrapped policy itself.
     obs: Obs,
+    /// Memoized counter slots for the per-request obs flush.
+    obs_slots: OutcomeObsSlots,
     name: String,
 }
 
@@ -41,6 +43,7 @@ impl<P: CachePolicy> AdmissionGate<P> {
             min_occurrences,
             counts: HashMap::new(),
             obs: Obs::disabled(),
+            obs_slots: OutcomeObsSlots::default(),
             name,
         }
     }
@@ -113,7 +116,7 @@ impl<P: CachePolicy> CachePolicy for AdmissionGate<P> {
             self.inner.handle(bundle, cache, catalog)
         } else {
             let outcome = self.bypass(bundle, cache, catalog);
-            outcome.record_obs(&self.obs);
+            outcome.record_obs(&self.obs, &mut self.obs_slots);
             outcome
         }
     }

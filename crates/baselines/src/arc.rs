@@ -20,7 +20,7 @@
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
-use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::policy::{service_with_evictor, CachePolicy, OutcomeObsSlots, RequestOutcome};
 use fbc_core::types::{Bytes, FileId};
 use fbc_obs::Obs;
 use std::collections::HashMap;
@@ -56,6 +56,8 @@ pub struct Arc {
     ghost_capacity: Bytes,
     /// Observability sink (disabled unless a driver attaches one).
     obs: Obs,
+    /// Memoized counter slots for the per-request obs flush.
+    obs_slots: OutcomeObsSlots,
 }
 
 impl Arc {
@@ -137,6 +139,7 @@ impl CachePolicy for Arc {
             p,
             ghost_capacity,
             obs: _,
+            obs_slots: _,
         } = self;
         let outcome = service_with_evictor(bundle, cache, catalog, |cache| {
             // LRU of T1 if |T1| > p, else LRU of T2; fall through to the
@@ -186,7 +189,7 @@ impl CachePolicy for Arc {
                 self.touch(f, catalog.size(f), capacity);
             }
         }
-        outcome.record_obs(&self.obs);
+        outcome.record_obs(&self.obs, &mut self.obs_slots);
         outcome
     }
 

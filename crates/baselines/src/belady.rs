@@ -15,7 +15,7 @@
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
-use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::policy::{service_with_evictor, CachePolicy, OutcomeObsSlots, RequestOutcome};
 use fbc_core::types::FileId;
 use fbc_obs::Obs;
 use std::cmp::Reverse;
@@ -57,6 +57,8 @@ pub struct BeladyMin {
     index: LazyHeap<Reverse<u64>>,
     /// Observability sink (disabled unless a driver attaches one).
     obs: Obs,
+    /// Memoized counter slots for the per-request obs flush.
+    obs_slots: OutcomeObsSlots,
 }
 
 impl BeladyMin {
@@ -140,7 +142,7 @@ impl CachePolicy for BeladyMin {
             }
         }
         self.now += 1;
-        outcome.record_obs(&self.obs);
+        outcome.record_obs(&self.obs, &mut self.obs_slots);
         outcome
     }
 

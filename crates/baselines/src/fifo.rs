@@ -9,7 +9,7 @@
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
-use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::policy::{service_with_evictor, CachePolicy, OutcomeObsSlots, RequestOutcome};
 use fbc_core::types::FileId;
 use fbc_obs::Obs;
 use std::collections::HashMap;
@@ -25,6 +25,8 @@ pub struct Fifo {
     order: OrderedList<()>,
     /// Observability sink (disabled unless a driver attaches one).
     obs: Obs,
+    /// Memoized counter slots for the per-request obs flush.
+    obs_slots: OutcomeObsSlots,
 }
 
 impl Fifo {
@@ -74,7 +76,7 @@ impl CachePolicy for Fifo {
             self.admitted_at.insert(*f, self.clock);
             self.order.push_back(*f, ());
         }
-        outcome.record_obs(&self.obs);
+        outcome.record_obs(&self.obs, &mut self.obs_slots);
         outcome
     }
 

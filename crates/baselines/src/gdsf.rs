@@ -19,7 +19,7 @@
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
-use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::policy::{service_with_evictor, CachePolicy, OutcomeObsSlots, RequestOutcome};
 use fbc_core::types::FileId;
 use fbc_obs::Obs;
 use std::collections::HashMap;
@@ -60,6 +60,8 @@ pub struct Gdsf {
     force_resync: bool,
     /// Observability sink (disabled unless a driver attaches one).
     obs: Obs,
+    /// Memoized counter slots for the per-request obs flush.
+    obs_slots: OutcomeObsSlots,
 }
 
 impl Gdsf {
@@ -160,7 +162,7 @@ impl CachePolicy for Gdsf {
                 }
             }
         }
-        outcome.record_obs(&self.obs);
+        outcome.record_obs(&self.obs, &mut self.obs_slots);
         outcome
     }
 

@@ -13,7 +13,7 @@
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
-use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::policy::{service_with_evictor, CachePolicy, OutcomeObsSlots, RequestOutcome};
 use fbc_core::types::FileId;
 use fbc_obs::Obs;
 use std::collections::HashMap;
@@ -31,6 +31,8 @@ pub struct Lru {
     order: OrderedList<()>,
     /// Observability sink (disabled unless a driver attaches one).
     obs: Obs,
+    /// Memoized counter slots for the per-request obs flush.
+    obs_slots: OutcomeObsSlots,
 }
 
 impl Lru {
@@ -84,7 +86,7 @@ impl CachePolicy for Lru {
         for f in &outcome.evicted_files {
             self.last_used.remove(f);
         }
-        outcome.record_obs(&self.obs);
+        outcome.record_obs(&self.obs, &mut self.obs_slots);
         outcome
     }
 

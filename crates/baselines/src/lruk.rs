@@ -13,7 +13,7 @@
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
-use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::policy::{service_with_evictor, CachePolicy, OutcomeObsSlots, RequestOutcome};
 use fbc_core::types::FileId;
 use fbc_obs::Obs;
 use std::collections::{HashMap, VecDeque};
@@ -32,6 +32,8 @@ pub struct LruK {
     index: LazyHeap<u64>,
     /// Observability sink (disabled unless a driver attaches one).
     obs: Obs,
+    /// Memoized counter slots for the per-request obs flush.
+    obs_slots: OutcomeObsSlots,
 }
 
 impl LruK {
@@ -44,6 +46,7 @@ impl LruK {
             refs: HashMap::new(),
             index: LazyHeap::new(),
             obs: Obs::disabled(),
+            obs_slots: OutcomeObsSlots::default(),
         }
     }
 
@@ -115,7 +118,7 @@ impl CachePolicy for LruK {
         for &f in &outcome.evicted_files {
             self.index.remove(f);
         }
-        outcome.record_obs(&self.obs);
+        outcome.record_obs(&self.obs, &mut self.obs_slots);
         outcome
     }
 

@@ -62,7 +62,7 @@
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
-use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::policy::{service_with_evictor, CachePolicy, OutcomeObsSlots, RequestOutcome};
 use fbc_core::types::{Bytes, FileId};
 use fbc_obs::Obs;
 use rand::rngs::StdRng;
@@ -167,6 +167,8 @@ pub struct BundleMarking {
     /// Unmarked residents keyed by last-use tick (never-seen files key 0).
     unmarked: LazyHeap<u64>,
     obs: Obs,
+    /// Memoized counter slots for the per-request obs flush.
+    obs_slots: OutcomeObsSlots,
 }
 
 impl BundleMarking {
@@ -260,7 +262,7 @@ impl CachePolicy for BundleMarking {
                 self.unmarked.remove(f);
             }
         }
-        outcome.record_obs(&self.obs);
+        outcome.record_obs(&self.obs, &mut self.obs_slots);
         outcome
     }
 
@@ -289,6 +291,8 @@ pub struct BundleMarkingRandom {
     /// plus unmarked pinned files), sorted ascending.
     excl: Vec<FileId>,
     obs: Obs,
+    /// Memoized counter slots for the per-request obs flush.
+    obs_slots: OutcomeObsSlots,
 }
 
 impl BundleMarkingRandom {
@@ -301,6 +305,7 @@ impl BundleMarkingRandom {
             unmarked: SortedArena::new(),
             excl: Vec::new(),
             obs: Obs::disabled(),
+            obs_slots: OutcomeObsSlots::default(),
         }
     }
 
@@ -408,7 +413,7 @@ impl CachePolicy for BundleMarkingRandom {
                 self.unmarked.remove(f);
             }
         }
-        outcome.record_obs(&self.obs);
+        outcome.record_obs(&self.obs, &mut self.obs_slots);
         outcome
     }
 

@@ -10,7 +10,7 @@
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
-use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::policy::{service_with_evictor, CachePolicy, OutcomeObsSlots, RequestOutcome};
 use fbc_core::types::FileId;
 use fbc_obs::Obs;
 use rand::rngs::StdRng;
@@ -30,6 +30,8 @@ pub struct RandomEvict {
     excl: Vec<FileId>,
     /// Observability sink (disabled unless a driver attaches one).
     obs: Obs,
+    /// Memoized counter slots for the per-request obs flush.
+    obs_slots: OutcomeObsSlots,
 }
 
 impl RandomEvict {
@@ -41,6 +43,7 @@ impl RandomEvict {
             arena: SortedArena::new(),
             excl: Vec::new(),
             obs: Obs::disabled(),
+            obs_slots: OutcomeObsSlots::default(),
         }
     }
 }
@@ -96,7 +99,7 @@ impl CachePolicy for RandomEvict {
         for &f in &outcome.fetched_files {
             self.arena.insert(f);
         }
-        outcome.record_obs(&self.obs);
+        outcome.record_obs(&self.obs, &mut self.obs_slots);
         outcome
     }
 

@@ -9,7 +9,7 @@
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
-use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::policy::{service_with_evictor, CachePolicy, OutcomeObsSlots, RequestOutcome};
 use fbc_core::types::Bytes;
 use fbc_obs::Obs;
 use std::cmp::Reverse;
@@ -23,6 +23,8 @@ pub struct LargestFirst {
     index: LazyHeap<Reverse<Bytes>>,
     /// Observability sink (disabled unless a driver attaches one).
     obs: Obs,
+    /// Memoized counter slots for the per-request obs flush.
+    obs_slots: OutcomeObsSlots,
 }
 
 impl LargestFirst {
@@ -56,7 +58,7 @@ impl CachePolicy for LargestFirst {
         for &f in &outcome.evicted_files {
             self.index.remove(f);
         }
-        outcome.record_obs(&self.obs);
+        outcome.record_obs(&self.obs, &mut self.obs_slots);
         outcome
     }
 

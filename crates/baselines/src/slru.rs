@@ -16,7 +16,7 @@
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
-use fbc_core::policy::{service_with_evictor, CachePolicy, RequestOutcome};
+use fbc_core::policy::{service_with_evictor, CachePolicy, OutcomeObsSlots, RequestOutcome};
 use fbc_core::types::{Bytes, FileId};
 use fbc_obs::Obs;
 use std::collections::HashMap;
@@ -46,6 +46,8 @@ pub struct Slru {
     protected_bytes: Bytes,
     /// Observability sink (disabled unless a driver attaches one).
     obs: Obs,
+    /// Memoized counter slots for the per-request obs flush.
+    obs_slots: OutcomeObsSlots,
 }
 
 impl Slru {
@@ -68,6 +70,7 @@ impl Slru {
             protected: LazyHeap::new(),
             protected_bytes: 0,
             obs: Obs::disabled(),
+            obs_slots: OutcomeObsSlots::default(),
         }
     }
 
@@ -162,7 +165,7 @@ impl CachePolicy for Slru {
             }
             self.rebalance(cache);
         }
-        outcome.record_obs(&self.obs);
+        outcome.record_obs(&self.obs, &mut self.obs_slots);
         outcome
     }
 

@@ -38,7 +38,10 @@
 //! * the instrumented-but-disabled observability path (`fbc-obs` handle
 //!   attached, sink off) exceeds 1.05× the never-attached decision path.
 
-use fbc_bench::{banner, extract_number, extract_section, quick_mode, results_dir, upsert_section};
+use fbc_bench::{
+    banner, cache_membership_kernel, extract_number, extract_section, quick_mode, results_dir,
+    upsert_section,
+};
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
@@ -592,6 +595,18 @@ fn main() {
          ({off_overhead:.3}x), enabled {on_ns:.0} ns/job ({on_overhead:.2}x)"
     );
 
+    // Residency membership kernel: the dense slab/bitset `CacheState`
+    // against its retained HashMap/BTreeSet twin on the hit-check + churn
+    // loop every decision runs before any selection. The helper asserts
+    // both sides replay identically, so this row doubles as a
+    // differential test.
+    let cache_kernel = cache_membership_kernel(2_000, if reduced { 8 } else { 32 });
+    println!(
+        "cache membership kernel (n=2000): dense {:.1} ns/probe vs reference {:.1} ns/probe \
+         ({:.1}x)",
+        cache_kernel.dense_ns_per_op, cache_kernel.reference_ns_per_op, cache_kernel.speedup
+    );
+
     if smoke {
         // Gate 0: a disabled sink must cost at most one branch per call —
         // the issue's 1.05× overhead budget for instrumented-but-off.
@@ -677,7 +692,11 @@ fn main() {
          \"obs_off_ns_per_job\": {off_ns:.1},\n  \
          \"obs_on_ns_per_job\": {on_ns:.1},\n  \
          \"obs_off_overhead\": {off_overhead:.3},\n  \
-         \"obs_on_overhead\": {on_overhead:.2},\n  \"decision_path\": [\n"
+         \"obs_on_overhead\": {on_overhead:.2},\n  \
+         \"cache_kernel_dense_ns_per_probe\": {:.1},\n  \
+         \"cache_kernel_reference_ns_per_probe\": {:.1},\n  \
+         \"cache_kernel_speedup\": {:.2},\n  \"decision_path\": [\n",
+        cache_kernel.dense_ns_per_op, cache_kernel.reference_ns_per_op, cache_kernel.speedup
     ));
     for (i, m) in path_measurements.iter().enumerate() {
         json.push_str(&format!(
@@ -714,13 +733,19 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    // Carry over perf_eviction's section, if a previous run recorded one —
-    // the two perf binaries share the summary file.
-    if let Some(section) = std::fs::read_to_string("BENCH_core.json")
-        .ok()
-        .and_then(|old| extract_section(&old, "perf_eviction"))
-    {
-        json = upsert_section(&json, "perf_eviction", &section);
+    // Carry over the other perf binaries' sections, if a previous run
+    // recorded them — all perf binaries share the summary file.
+    if let Ok(old) = std::fs::read_to_string("BENCH_core.json") {
+        for name in [
+            "perf_eviction",
+            "perf_concurrent",
+            "perf_online",
+            "perf_grid",
+        ] {
+            if let Some(section) = extract_section(&old, name) {
+                json = upsert_section(&json, name, &section);
+            }
+        }
     }
     std::fs::write("BENCH_core.json", &json).expect("write BENCH_core.json");
     println!("JSON summary written to BENCH_core.json");

@@ -28,7 +28,9 @@
 //!   the measured headline regressed more than 2× against it.
 
 use fbc_baselines::PolicyKind;
-use fbc_bench::{banner, extract_number, quick_mode, results_dir, upsert_section};
+use fbc_bench::{
+    banner, cache_membership_kernel, extract_number, quick_mode, results_dir, upsert_section,
+};
 use fbc_core::bundle::Bundle;
 use fbc_core::cache::CacheState;
 use fbc_core::catalog::FileCatalog;
@@ -255,6 +257,18 @@ fn main() {
         (off_ns / plain_ns, on_ns / plain_ns)
     };
 
+    // Residency membership kernel: the dense slab/bitset `CacheState`
+    // against its retained HashMap/BTreeSet twin on the batched hit-check
+    // + churn loop every eviction decision sits behind. The helper asserts
+    // both sides replay identically, so this row doubles as a differential
+    // test.
+    let cache_kernel = cache_membership_kernel(largest, if reduced { 8 } else { 32 });
+    println!(
+        "\ncache membership kernel (n={largest}): dense {:.1} ns/probe vs reference \
+         {:.1} ns/probe ({:.1}x)",
+        cache_kernel.dense_ns_per_op, cache_kernel.reference_ns_per_op, cache_kernel.speedup
+    );
+
     let headline_eps = geomean(
         rows.iter()
             .filter(|r| r.n == largest)
@@ -304,8 +318,15 @@ fn main() {
          \"headline_eviction_speedup\": {headline_speedup:.2},\n    \
          \"obs_off_overhead\": {:.3},\n    \
          \"obs_on_overhead\": {:.2},\n    \
+         \"cache_kernel_dense_ns_per_probe\": {:.1},\n    \
+         \"cache_kernel_reference_ns_per_probe\": {:.1},\n    \
+         \"cache_kernel_speedup\": {:.2},\n    \
          \"largest_n\": {largest},\n    \"results\": [\n",
-        obs_overheads.0, obs_overheads.1
+        obs_overheads.0,
+        obs_overheads.1,
+        cache_kernel.dense_ns_per_op,
+        cache_kernel.reference_ns_per_op,
+        cache_kernel.speedup
     ));
     for (i, r) in rows.iter().enumerate() {
         body.push_str(&format!(

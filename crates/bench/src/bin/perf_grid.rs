@@ -1,0 +1,281 @@
+//! End-to-end grid engine throughput over the dense residency path.
+//!
+//! ```text
+//! cargo run --release -p fbc-bench --bin perf_grid            # full run
+//! cargo run --release -p fbc-bench --bin perf_grid -- --smoke # CI gate
+//! ```
+//!
+//! Where `perf_concurrent` measures a decision-dominated stream (almost
+//! every arrival forces a replacement selection), this benchmark measures
+//! the opposite regime: a **hit-dominated** stream, where the per-request
+//! cost is the residency membership check itself — the batched
+//! `contains_all` test the grid engine runs on every arrival and every
+//! queued-drain candidate. The workload draws all jobs from a small pool
+//! of distinct bundles over a catalog that fits in cache entirely, so
+//! after a brief cold phase every request is a full-cache hit and the
+//! event loop spends its time exactly on the path the dense slab/bitset
+//! `CacheState` rebuilt.
+//!
+//! Two layers:
+//!
+//! 1. **End-to-end jobs/s** through `run_concurrent_grid` at shard counts
+//!    {1, 4} (plus a `run_grid` divergence check on a prefix: the 1-shard
+//!    service must stay bit-identical to the single-threaded engine).
+//! 2. **Hit-check ns/request** — the shared membership micro-kernel
+//!    (`fbc_bench::cache_membership_kernel`), dense `CacheState` vs its
+//!    retained `HashMap`+`BTreeSet` reference twin. The helper asserts
+//!    both sides replay identically, so every run is also a differential
+//!    test of the dense representation.
+//!
+//! The full run writes `results/perf_grid.csv` and merges a `"perf_grid"`
+//! section into `BENCH_core.json`. The `--smoke` mode writes nothing; it
+//! runs a reduced size and fails (non-zero exit) when either
+//!
+//! * the dense membership kernel is slower than the reference twin
+//!   (speedup < 1.0 — the representation must never lose to the hash
+//!   path it replaced), or
+//! * the 1-shard run diverges from `run_grid`, or the dense and reference
+//!   kernels diverge, or
+//! * a committed `BENCH_core.json` has a `headline_grid_jobs_per_sec`
+//!   and the measured headline regressed more than 2× against it.
+
+use fbc_bench::{
+    banner, cache_membership_kernel, extract_number, quick_mode, results_dir, upsert_section,
+};
+use fbc_core::bundle::Bundle;
+use fbc_core::catalog::FileCatalog;
+use fbc_core::policy::SendPolicy;
+use fbc_grid::client::{schedule_arrivals, ArrivalProcess, JobArrival};
+use fbc_grid::concurrent::{run_concurrent_grid, ConcurrentConfig};
+use fbc_grid::engine::{run_grid, GridConfig};
+use fbc_grid::srm::SrmConfig;
+use fbc_sim::report::Table;
+use std::time::Instant;
+
+/// Deterministic xorshift64 generator (no external RNG needed here).
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+const FILE_SIZE: u64 = 1_000_000;
+
+/// A hit-dominated stream: `jobs` arrivals cycling through a pool of
+/// `pool` distinct 3-file bundles over a `files`-file catalog, batch
+/// submitted. The catalog fits in cache whole, so after the pool's first
+/// pass every arrival is a full-cache hit — the steady state is wall-to-
+/// wall membership checks.
+fn workload(files: usize, pool: usize, jobs: usize, seed: u64) -> (FileCatalog, Vec<JobArrival>) {
+    let catalog = FileCatalog::from_sizes(vec![FILE_SIZE; files]);
+    let mut state = seed;
+    let distinct: Vec<Bundle> = (0..pool)
+        .map(|_| {
+            Bundle::from_raw([
+                (xorshift(&mut state) % files as u64) as u32,
+                (xorshift(&mut state) % files as u64) as u32,
+                (xorshift(&mut state) % files as u64) as u32,
+            ])
+        })
+        .collect();
+    let bundles: Vec<Bundle> = (0..jobs)
+        .map(|i| distinct[(xorshift(&mut state) as usize ^ i) % pool].clone())
+        .collect();
+    (catalog, schedule_arrivals(&bundles, ArrivalProcess::Batch))
+}
+
+fn grid_config(files: usize) -> GridConfig {
+    GridConfig {
+        srm: SrmConfig {
+            // The whole catalog fits: no evictions, every steady-state
+            // request exercises only the hit-check path.
+            cache_size: files as u64 * FILE_SIZE,
+            max_concurrent_jobs: 4,
+            ..SrmConfig::default()
+        },
+        ..GridConfig::default()
+    }
+}
+
+fn factory() -> SendPolicy {
+    Box::new(fbc_core::optfilebundle::OptFileBundle::new())
+}
+
+struct Row {
+    shards: usize,
+    jobs_per_sec: f64,
+    speedup: f64,
+    byte_miss: f64,
+    elapsed_ns: u64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(if smoke {
+        "perf_grid — CI smoke (regression gate)"
+    } else {
+        "perf_grid — end-to-end grid hit-check throughput"
+    });
+
+    let reduced = smoke || quick_mode();
+    let (files, pool, jobs) = if reduced {
+        (2_000, 256, 20_000)
+    } else {
+        (4_000, 512, 100_000)
+    };
+    let iters = if reduced { 1 } else { 2 };
+    let shard_counts: &[usize] = &[1, 4];
+
+    let (catalog, arrivals) = workload(files, pool, jobs, 0x6121D ^ jobs as u64);
+    let config = grid_config(files);
+
+    // Divergence gate: the 1-shard concurrent service must be
+    // bit-identical to the single-threaded engine on a prefix.
+    {
+        let equiv = &arrivals[..jobs.min(4_000)];
+        let mut policy = factory();
+        let seq = run_grid(policy.as_mut(), &catalog, equiv, &config);
+        let con = run_concurrent_grid(
+            &factory,
+            &catalog,
+            equiv,
+            &ConcurrentConfig::sharded(config, 1),
+            None,
+        );
+        assert_eq!(
+            seq, con.overall,
+            "DIVERGENCE: 1-shard concurrent GridStats differ from run_grid"
+        );
+        println!("equivalence: 1-shard run is bit-identical to run_grid\n");
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &shards in shard_counts {
+        let cfg = ConcurrentConfig::sharded(config, shards);
+        let mut best_ns = u64::MAX;
+        let mut byte_miss = 0.0;
+        let mut decided = 0u64;
+        for _ in 0..iters {
+            let start = Instant::now();
+            let stats = run_concurrent_grid(&factory, &catalog, &arrivals, &cfg, None);
+            let ns = (start.elapsed().as_nanos() as u64).max(1);
+            decided = stats.overall.completed + stats.overall.rejected + stats.overall.failed;
+            assert_eq!(decided, jobs as u64, "every job must be decided");
+            byte_miss = stats.overall.cache.byte_miss_ratio();
+            best_ns = best_ns.min(ns);
+        }
+        let jobs_per_sec = decided as f64 * 1e9 / best_ns as f64;
+        let base = rows.first().map_or(jobs_per_sec, |r: &Row| r.jobs_per_sec);
+        rows.push(Row {
+            shards,
+            jobs_per_sec,
+            speedup: jobs_per_sec / base,
+            byte_miss,
+            elapsed_ns: best_ns,
+        });
+    }
+
+    let mut table = Table::new(["shards", "jobs/s", "speedup", "byte miss", "wall ms"]);
+    for r in &rows {
+        table.add_row([
+            r.shards.to_string(),
+            format!("{:.0}", r.jobs_per_sec),
+            format!("{:.2}x", r.speedup),
+            format!("{:.4}", r.byte_miss),
+            format!("{:.0}", r.elapsed_ns as f64 / 1e6),
+        ]);
+    }
+    print!("{}", table.to_ascii());
+
+    // Hit-check micro-kernel: ns per membership probe, dense vs the
+    // reference twin (differential by construction — the helper asserts
+    // identical replay).
+    let kernel_n = if reduced { 1_000 } else { 10_000 };
+    let kernel = cache_membership_kernel(kernel_n, if reduced { 8 } else { 32 });
+    println!(
+        "\nhit-check kernel (n={kernel_n}): dense {:.1} ns/probe vs reference {:.1} ns/probe \
+         ({:.1}x)",
+        kernel.dense_ns_per_op, kernel.reference_ns_per_op, kernel.speedup
+    );
+
+    let headline_jps = rows
+        .iter()
+        .find(|r| r.shards == 1)
+        .map_or(0.0, |r| r.jobs_per_sec);
+    let sharded_jps = rows
+        .iter()
+        .find(|r| r.shards == 4)
+        .map_or(0.0, |r| r.jobs_per_sec);
+    println!(
+        "\nheadline: 1-shard {headline_jps:.0} jobs/s end-to-end on the hit-dominated \
+         stream (4-shard: {sharded_jps:.0} jobs/s); dense hit check {:.1} ns/probe",
+        kernel.dense_ns_per_op
+    );
+
+    if smoke {
+        // Gate 1: the dense representation must not lose to the hash twin
+        // it replaced (machine-independent ratio; the divergence checks
+        // above already ran).
+        assert!(
+            kernel.speedup >= 1.0,
+            "REGRESSION: dense membership kernel only {:.2}x the reference twin \
+             (acceptance floor: 1.0x — dense must never be slower)",
+            kernel.speedup
+        );
+        // Gate 2: >2x throughput regression against the committed baseline.
+        if let Ok(json) = std::fs::read_to_string("BENCH_core.json") {
+            if let Some(committed) = extract_number(&json, "\"headline_grid_jobs_per_sec\":") {
+                assert!(
+                    headline_jps >= committed / 2.0,
+                    "REGRESSION: measured {headline_jps:.0} jobs/s is more than 2x below \
+                     the committed baseline {committed:.0}"
+                );
+                println!(
+                    "smoke: headline {headline_jps:.0} jobs/s vs committed {committed:.0} \
+                     jobs/s — within 2x"
+                );
+            }
+        }
+        println!(
+            "smoke: OK (dense kernel {:.1}x >= 1.0x, 1-shard equivalence held)",
+            kernel.speedup
+        );
+        return;
+    }
+
+    let out = results_dir().join("perf_grid.csv");
+    table.save_csv(&out).expect("write CSV");
+    println!("CSV written to {}", out.display());
+
+    // Merge our section into the shared summary (hand-rolled JSON; the
+    // vendored serde shim has no serializer).
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!(
+        "    \"headline_grid_jobs_per_sec\": {headline_jps:.1},\n    \
+         \"sharded_grid_jobs_per_sec\": {sharded_jps:.1},\n    \
+         \"hit_check_dense_ns_per_probe\": {:.1},\n    \
+         \"hit_check_reference_ns_per_probe\": {:.1},\n    \
+         \"hit_check_speedup\": {:.2},\n    \
+         \"files\": {files},\n    \"pool\": {pool},\n    \"jobs\": {jobs},\n    \
+         \"results\": [\n",
+        kernel.dense_ns_per_op, kernel.reference_ns_per_op, kernel.speedup
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "      {{\"shards\": {}, \"jobs_per_sec\": {:.1}, \"speedup\": {:.2}, \
+             \"byte_miss_ratio\": {:.4}}}{}\n",
+            r.shards,
+            r.jobs_per_sec,
+            r.speedup,
+            r.byte_miss,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("    ]\n  }");
+    let old = std::fs::read_to_string("BENCH_core.json").unwrap_or_else(|_| "{\n}\n".to_string());
+    let merged = upsert_section(&old, "perf_grid", &body);
+    std::fs::write("BENCH_core.json", &merged).expect("write BENCH_core.json");
+    println!("JSON summary merged into BENCH_core.json");
+}

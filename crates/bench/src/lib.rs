@@ -191,6 +191,103 @@ pub fn banner(title: &str) {
     println!("\n=== {title} ===\n");
 }
 
+/// Result of [`cache_membership_kernel`]: the dense slab/bitset
+/// `CacheState` against its retained `HashMap`+`BTreeSet` twin on the
+/// residency hot loop.
+pub struct CacheKernelResult {
+    /// Nanoseconds per probe (batched hit check + churn amortised), dense.
+    pub dense_ns_per_op: f64,
+    /// Same figure for `CacheStateReference`.
+    pub reference_ns_per_op: f64,
+    /// `reference_ns_per_op / dense_ns_per_op`.
+    pub speedup: f64,
+    /// Hit-count checksum; asserted equal between the two sides, so every
+    /// benchmark run is also a differential test.
+    pub hits: u64,
+}
+
+/// Micro-benchmark of the residency membership kernel shared by every
+/// engine's hit/miss check: `passes` sweeps of `n` four-file bundle
+/// probes (`supports`) over a full cache of `n` unit files from a `2n`
+/// population, each miss churning one eviction plus one insertion. Both
+/// representations replay the identical deterministic op stream; their
+/// hit counts and final states must agree.
+pub fn cache_membership_kernel(n: usize, passes: usize) -> CacheKernelResult {
+    use fbc_core::bundle::Bundle;
+    use fbc_core::cache::{CacheState, CacheStateReference};
+    use fbc_core::catalog::FileCatalog;
+    use fbc_core::types::FileId;
+    use std::time::Instant;
+
+    let catalog = FileCatalog::from_sizes(vec![1; 2 * n]);
+    let mut state = 0xC0FFEE ^ ((n as u64) << 3);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let probes: Vec<Bundle> = (0..n)
+        .map(|_| Bundle::from_raw((0..4).map(|_| (next() % (2 * n) as u64) as u32)))
+        .collect();
+
+    // One measured side; the macro keeps the op stream textually identical
+    // for both cache types (no common trait to be generic over).
+    macro_rules! side {
+        ($cache:expr) => {{
+            let mut cache = $cache;
+            for f in 0..n as u32 {
+                cache.insert(FileId(f), &catalog).expect("warm fill fits");
+            }
+            let mut hits = 0u64;
+            let mut victim = 0u32; // rotates over the full id ring
+            let start = Instant::now();
+            for _ in 0..passes {
+                for b in &probes {
+                    if cache.supports(b) {
+                        hits += 1;
+                    } else {
+                        // Miss: make room (next resident victim on the
+                        // ring), then admit the first missing file.
+                        while cache.evict(FileId(victim)).is_err() {
+                            victim = (victim + 1) % (2 * n) as u32;
+                        }
+                        victim = (victim + 1) % (2 * n) as u32;
+                        let missing = b.iter().find(|&f| !cache.contains(f));
+                        if let Some(f) = missing {
+                            cache.insert(f, &catalog).expect("room was made");
+                        }
+                    }
+                }
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            (
+                elapsed * 1e9 / (passes * probes.len()) as f64,
+                hits,
+                cache.resident_files_sorted(),
+            )
+        }};
+    }
+
+    let (dense_ns, dense_hits, dense_state) = side!(CacheState::with_catalog(n as Bytes, &catalog));
+    let (reference_ns, reference_hits, reference_state) =
+        side!(CacheStateReference::new(n as Bytes));
+    assert_eq!(
+        dense_hits, reference_hits,
+        "dense CacheState diverged from its reference twin (hit counts)"
+    );
+    assert_eq!(
+        dense_state, reference_state,
+        "dense CacheState diverged from its reference twin (final resident set)"
+    );
+    CacheKernelResult {
+        dense_ns_per_op: dense_ns,
+        reference_ns_per_op: reference_ns,
+        speedup: reference_ns / dense_ns,
+        hits: dense_hits,
+    }
+}
+
 /// Pulls the first number following `key` out of `json` — a deliberately
 /// naive parser for the handful of scalars the perf smoke gates read back
 /// from the hand-rolled `BENCH_core.json` (the vendored serde shim has no

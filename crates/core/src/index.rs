@@ -14,9 +14,10 @@
 //! the cache holds a small fraction of all files this is far below a full
 //! scan (see `benches/history.rs`).
 
+use crate::bitset::ResidencySet;
 use crate::bundle::Bundle;
 use crate::types::FileId;
-use rustc_hash::{FxHashMap, FxHashSet};
+use rustc_hash::FxHashMap;
 
 /// Incrementally maintained "which bundles are fully resident" index.
 #[derive(Debug, Clone, Default)]
@@ -32,8 +33,10 @@ pub struct SupportIndex {
     ids: FxHashMap<Bundle, u32>,
     /// Per-bundle count of currently resident files.
     resident_count: Vec<u32>,
-    /// Set of currently resident files (mirrors the cache).
-    resident: FxHashSet<FileId>,
+    /// Mirror of the cache's resident set, in the same word-packed
+    /// representation [`crate::cache::CacheState`] uses — membership here
+    /// is the same one-load bit test as the cache's own `contains`.
+    resident: ResidencySet,
 }
 
 impl SupportIndex {
@@ -64,7 +67,7 @@ impl SupportIndex {
         let mut count = 0;
         for f in bundle.iter() {
             self.by_file.entry(f).or_default().push(id);
-            if self.resident.contains(&f) {
+            if self.resident.contains(f) {
                 count += 1;
             }
         }
@@ -84,7 +87,7 @@ impl SupportIndex {
 
     /// Notifies the index that `file` was evicted.
     pub fn on_evict(&mut self, file: FileId) {
-        if self.resident.remove(&file) {
+        if self.resident.remove(file) {
             if let Some(bundles) = self.by_file.get(&file) {
                 for &b in bundles {
                     self.resident_count[b as usize] -= 1;
@@ -95,7 +98,7 @@ impl SupportIndex {
 
     /// Whether the index believes `file` is resident.
     pub fn is_resident(&self, file: FileId) -> bool {
-        self.resident.contains(&file)
+        self.resident.contains(file)
     }
 
     /// The bundle registered under dense id `id` (as returned by
@@ -117,7 +120,7 @@ impl SupportIndex {
         // non-resident files.
         let mut bonus: FxHashMap<u32, u32> = FxHashMap::default();
         for f in extra.iter() {
-            if !self.resident.contains(&f) {
+            if !self.resident.contains(f) {
                 if let Some(bundles) = self.by_file.get(&f) {
                     for &b in bundles {
                         *bonus.entry(b).or_insert(0) += 1;

@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod bounds;
 pub mod bundle;
 pub mod cache;

@@ -25,7 +25,7 @@ use crate::history::{RequestHistory, ValueFn};
 #[cfg(any(test, feature = "reference-kernels"))]
 use crate::index::SupportIndex;
 use crate::instance::FbcInstance;
-use crate::policy::{CachePolicy, RequestOutcome};
+use crate::policy::{CachePolicy, OutcomeObsSlots, RequestOutcome};
 use crate::resident::ResidentInstance;
 #[cfg(any(test, feature = "reference-kernels"))]
 use crate::select::{opt_cache_select_lazy_with_scratch, LazySelectScratch};
@@ -169,6 +169,8 @@ pub struct OptFileBundle {
     /// Observability sink (disabled unless a driver attaches one); records
     /// per-phase spans, candidate/retained histograms and decision events.
     obs: Obs,
+    /// Memoized counter slots for the per-request obs flush.
+    obs_slots: OutcomeObsSlots,
     name: String,
 }
 
@@ -210,6 +212,7 @@ impl OptFileBundle {
             reference: false,
             scratch: DecisionScratch::default(),
             obs: Obs::disabled(),
+            obs_slots: OutcomeObsSlots::default(),
             name,
         }
     }
@@ -839,7 +842,7 @@ impl OptFileBundle {
                 // Flushed per request, in order: the JSONL trace interleaves
                 // decision/admit/evict events with each request's counters,
                 // so deferring flushes across arrivals would reorder it.
-                outcome.record_obs(&self.obs);
+                outcome.record_obs(&self.obs, &mut self.obs_slots);
                 out.push(outcome);
             }
         } else {
@@ -862,7 +865,7 @@ impl CachePolicy for OptFileBundle {
         catalog: &FileCatalog,
     ) -> RequestOutcome {
         let outcome = self.handle_inner(bundle, cache, catalog);
-        outcome.record_obs(&self.obs);
+        outcome.record_obs(&self.obs, &mut self.obs_slots);
         outcome
     }
 

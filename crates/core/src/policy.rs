@@ -11,7 +11,7 @@ use crate::bundle::Bundle;
 use crate::cache::CacheState;
 use crate::catalog::FileCatalog;
 use crate::types::{Bytes, FileId};
-use fbc_obs::{Field, Obs};
+use fbc_obs::{CounterSlot, Field, Obs};
 
 /// Accounting record for one serviced request.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -39,6 +39,24 @@ pub struct RequestOutcome {
     pub streamed: bool,
 }
 
+/// Memoized [`CounterSlot`]s for the fixed `policy.*` counter roster
+/// [`RequestOutcome::record_obs`] flushes. Each policy holds one (a plain
+/// [`Default`] field next to its `Obs` handle) so the steady-state flush
+/// bumps counters without hashing their names; the slots re-resolve
+/// automatically — via the registry epoch check — after `Obs::clear` or
+/// when a different sink is attached.
+#[derive(Debug, Clone, Default)]
+pub struct OutcomeObsSlots {
+    requests: CounterSlot,
+    requested_bytes: CounterSlot,
+    hits: CounterSlot,
+    unserviced: CounterSlot,
+    fetched_files: CounterSlot,
+    fetched_bytes: CounterSlot,
+    evicted_files: CounterSlot,
+    evicted_bytes: CounterSlot,
+}
+
 impl RequestOutcome {
     /// Folds this outcome into a policy's observability registry: the
     /// `policy.*` counters shared by every implementation, plus `admit`
@@ -48,22 +66,36 @@ impl RequestOutcome {
     ///
     /// The whole flush — up to six counters and two events — runs inside
     /// one [`Obs::batch`] session, so an attached sink costs one lock
-    /// acquisition per request instead of one per recording. Recording
-    /// order is unchanged, keeping JSONL traces and registry dumps
-    /// byte-identical to the per-call flush this replaces.
-    pub fn record_obs(&self, obs: &Obs) {
+    /// acquisition per request instead of one per recording, and every
+    /// counter bumps through the caller's [`OutcomeObsSlots`] memo
+    /// instead of a string-keyed map probe. Recording order is unchanged,
+    /// keeping JSONL traces and registry dumps byte-identical to the
+    /// per-call flush this replaces.
+    pub fn record_obs(&self, obs: &Obs, slots: &mut OutcomeObsSlots) {
         obs.batch(|b| {
-            b.incr("policy.requests");
-            b.add("policy.requested_bytes", self.requested_bytes);
+            b.incr_cached(&mut slots.requests, "policy.requests");
+            b.add_cached(
+                &mut slots.requested_bytes,
+                "policy.requested_bytes",
+                self.requested_bytes,
+            );
             if self.hit {
-                b.incr("policy.hits");
+                b.incr_cached(&mut slots.hits, "policy.hits");
             }
             if !self.serviced {
-                b.incr("policy.unserviced");
+                b.incr_cached(&mut slots.unserviced, "policy.unserviced");
             }
             if !self.fetched_files.is_empty() {
-                b.add("policy.fetched_files", self.fetched_files.len() as u64);
-                b.add("policy.fetched_bytes", self.fetched_bytes);
+                b.add_cached(
+                    &mut slots.fetched_files,
+                    "policy.fetched_files",
+                    self.fetched_files.len() as u64,
+                );
+                b.add_cached(
+                    &mut slots.fetched_bytes,
+                    "policy.fetched_bytes",
+                    self.fetched_bytes,
+                );
                 b.event(
                     "admit",
                     &[
@@ -74,8 +106,16 @@ impl RequestOutcome {
                 );
             }
             if !self.evicted_files.is_empty() {
-                b.add("policy.evicted_files", self.evicted_files.len() as u64);
-                b.add("policy.evicted_bytes", self.evicted_bytes);
+                b.add_cached(
+                    &mut slots.evicted_files,
+                    "policy.evicted_files",
+                    self.evicted_files.len() as u64,
+                );
+                b.add_cached(
+                    &mut slots.evicted_bytes,
+                    "policy.evicted_bytes",
+                    self.evicted_bytes,
+                );
                 b.event(
                     "evict",
                     &[
@@ -242,7 +282,7 @@ where
         ..RequestOutcome::default()
     };
 
-    if cache.supports(bundle) {
+    if cache.contains_all(bundle) {
         outcome.hit = true;
         return outcome;
     }
@@ -251,8 +291,16 @@ where
         return outcome;
     }
 
-    let missing = cache.missing_of(bundle);
-    let missing_bytes: Bytes = missing.iter().map(|&f| catalog.size(f)).sum();
+    // One pass over the bundle collects the missing files and their total
+    // size together (a second residency sweep would double the bit tests).
+    let mut missing = Vec::new();
+    let mut missing_bytes: Bytes = 0;
+    for f in bundle.iter() {
+        if !cache.contains(f) {
+            missing_bytes += catalog.size(f);
+            missing.push(f);
+        }
+    }
 
     while cache.free() < missing_bytes {
         match choose_victim(cache) {

@@ -225,7 +225,8 @@ impl ConcurrentSrm {
                         }
                         let mut policy = factory.build_policy();
                         let child = obs.child();
-                        let mut cache = CacheState::new(shard_grid.srm.cache_size);
+                        let mut cache =
+                            CacheState::with_catalog(shard_grid.srm.cache_size, catalog);
                         let stats = run_grid_on_cache(
                             policy.as_mut(),
                             catalog,

@@ -202,7 +202,7 @@ pub fn run_grid_observed(
     plan: Option<&FaultPlan>,
     obs: &Obs,
 ) -> GridStats {
-    let mut cache = CacheState::new(config.srm.cache_size);
+    let mut cache = CacheState::with_catalog(config.srm.cache_size, catalog);
     run_grid_on_cache(policy, catalog, arrivals, config, plan, obs, &mut cache)
 }
 
@@ -254,6 +254,9 @@ pub fn run_grid_on_cache(
     let mut in_service: usize = 0;
     let mut last_completion = SimTime::ZERO;
     let mut hit_out: Vec<RequestOutcome> = Vec::new();
+    // Scratch for the batched-hit fast path below: reused across drains so
+    // a busy steady state allocates nothing per event.
+    let mut hit_batch: Vec<&fbc_core::bundle::Bundle> = Vec::new();
 
     while let Some((now, event)) = events.pop() {
         obs.set_now(now.micros());
@@ -356,16 +359,13 @@ pub fn run_grid_on_cache(
             let run_len = queue
                 .iter()
                 .take(slots_free)
-                .take_while(|&&j| cache.supports(&arrivals[j].bundle))
+                .take_while(|&&j| cache.contains_all(&arrivals[j].bundle))
                 .count();
             if run_len >= 2 {
-                let batch: Vec<&fbc_core::bundle::Bundle> = queue
-                    .iter()
-                    .take(run_len)
-                    .map(|&j| &arrivals[j].bundle)
-                    .collect();
+                hit_batch.clear();
+                hit_batch.extend(queue.iter().take(run_len).map(|&j| &arrivals[j].bundle));
                 hit_out.clear();
-                policy.handle_batch(&batch, cache, catalog, &mut hit_out);
+                policy.handle_batch(&hit_batch, cache, catalog, &mut hit_out);
                 debug_assert!(cache.check_invariants());
                 for outcome in hit_out.iter().take(run_len) {
                     let j = queue.pop_front().expect("run length bounded by queue");

@@ -132,7 +132,7 @@ pub fn run_multi_grid(
 
     let mut nodes: Vec<Node> = (0..config.nodes)
         .map(|_| Node {
-            cache: CacheState::new(config.srm.cache_size),
+            cache: CacheState::with_catalog(config.srm.cache_size, catalog),
             queue: VecDeque::new(),
             in_service: 0,
         })

@@ -116,7 +116,7 @@ pub fn run_grid_replicated(
         events.schedule(a.at, Event::Arrival(i));
     }
 
-    let mut cache = fbc_core::cache::CacheState::new(config.srm.cache_size);
+    let mut cache = fbc_core::cache::CacheState::with_catalog(config.srm.cache_size, catalog);
     let mut sites: Vec<MassStorage> = (0..config.placement.sites())
         .map(|_| MassStorage::new(config.mss))
         .collect();

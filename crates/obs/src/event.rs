@@ -95,14 +95,19 @@ fn write_json_string(out: &mut String, s: &str) {
 }
 
 /// One recorded event.
+///
+/// Kinds and field keys are `&'static str`: every instrumentation site in
+/// the workspace names them with literals, and static borrows keep the
+/// per-event recording cost to one `Vec` allocation (the payload) instead
+/// of one `String` per kind plus one per key.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Virtual timestamp (see module docs for the unit).
     pub t: u64,
     /// Event kind, e.g. `"fetch_issued"`.
-    pub kind: String,
+    pub kind: &'static str,
     /// Key/value payload, in recording order.
-    pub fields: Vec<(String, Field)>,
+    pub fields: Vec<(&'static str, Field)>,
 }
 
 impl Event {
@@ -112,7 +117,7 @@ impl Event {
         out.push_str("{\"t\":");
         let _ = write!(out, "{}", self.t);
         out.push_str(",\"ev\":");
-        write_json_string(&mut out, &self.kind);
+        write_json_string(&mut out, self.kind);
         for (k, v) in &self.fields {
             out.push(',');
             write_json_string(&mut out, k);
@@ -154,6 +159,35 @@ impl EventLog {
             self.dropped += 1;
         }
         self.buf.push_back(event);
+    }
+
+    /// Appends an event built from a borrowed payload, evicting the oldest
+    /// when full — and reusing the evicted event's `fields` allocation for
+    /// the new one. In the steady state of a long run (ring at capacity)
+    /// this records without touching the allocator at all, which is what
+    /// keeps an attached-enabled sink cheap on per-request hot paths.
+    /// Observable state afterwards is identical to
+    /// `push(Event { t, kind, fields: fields.to_vec() })`.
+    pub fn push_borrowed(&mut self, t: u64, kind: &'static str, fields: &[(&'static str, Field)]) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            let mut recycled = self.buf.pop_front().expect("len == capacity > 0");
+            self.dropped += 1;
+            recycled.t = t;
+            recycled.kind = kind;
+            recycled.fields.clear();
+            recycled.fields.extend_from_slice(fields);
+            self.buf.push_back(recycled);
+        } else {
+            self.buf.push_back(Event {
+                t,
+                kind,
+                fields: fields.to_vec(),
+            });
+        }
     }
 
     /// Events currently held.
@@ -213,10 +247,10 @@ impl EventLog {
 mod tests {
     use super::*;
 
-    fn ev(t: u64, kind: &str) -> Event {
+    fn ev(t: u64, kind: &'static str) -> Event {
         Event {
             t,
-            kind: kind.to_string(),
+            kind,
             fields: Vec::new(),
         }
     }
@@ -225,13 +259,13 @@ mod tests {
     fn json_rendering_is_stable_and_ordered() {
         let e = Event {
             t: 7,
-            kind: "fetch".to_string(),
+            kind: "fetch",
             fields: vec![
-                ("job".to_string(), Field::u(3)),
-                ("ok".to_string(), Field::b(true)),
-                ("ratio".to_string(), Field::f(0.5)),
-                ("delta".to_string(), Field::i(-2)),
-                ("who".to_string(), Field::s("a\"b")),
+                ("job", Field::u(3)),
+                ("ok", Field::b(true)),
+                ("ratio", Field::f(0.5)),
+                ("delta", Field::i(-2)),
+                ("who", Field::s("a\"b")),
             ],
         };
         assert_eq!(
@@ -245,8 +279,8 @@ mod tests {
     fn non_finite_floats_render_as_null() {
         let e = Event {
             t: 0,
-            kind: "x".to_string(),
-            fields: vec![("v".to_string(), Field::f(f64::NAN))],
+            kind: "x",
+            fields: vec![("v", Field::f(f64::NAN))],
         };
         assert!(e.to_json().contains("\"v\":null"));
     }
@@ -266,7 +300,7 @@ mod tests {
         log.push(ev(3, "c"));
         assert_eq!(log.len(), 2);
         assert_eq!(log.dropped(), 1);
-        let kinds: Vec<&str> = log.iter().map(|e| e.kind.as_str()).collect();
+        let kinds: Vec<&str> = log.iter().map(|e| e.kind).collect();
         assert_eq!(kinds, ["b", "c"]);
     }
 
@@ -277,6 +311,31 @@ mod tests {
         assert!(log.is_empty());
         assert_eq!(log.dropped(), 1);
         assert_eq!(log.to_jsonl(), "");
+    }
+
+    #[test]
+    fn push_borrowed_matches_push_through_ring_wrap() {
+        // The recycling push must be observationally identical to the
+        // allocating push — including drop accounting — both below
+        // capacity and once the ring wraps (where recycling kicks in).
+        let fields = [("k", Field::u(7)), ("s", Field::s("x"))];
+        let mut a = EventLog::new(3);
+        let mut b = EventLog::new(3);
+        for t in 0..8 {
+            a.push(Event {
+                t,
+                kind: "e",
+                fields: fields.to_vec(),
+            });
+            b.push_borrowed(t, "e", &fields);
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.dropped(), b.dropped());
+            assert_eq!(a.to_jsonl(), b.to_jsonl());
+        }
+        let mut zero = EventLog::new(0);
+        zero.push_borrowed(1, "e", &fields);
+        assert!(zero.is_empty());
+        assert_eq!(zero.dropped(), 1);
     }
 
     #[test]

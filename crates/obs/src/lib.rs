@@ -55,7 +55,7 @@ pub mod quantile;
 pub mod registry;
 
 pub use event::{Event, EventLog, Field};
-pub use registry::Registry;
+pub use registry::{CounterSlot, Registry};
 
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
@@ -179,18 +179,15 @@ impl Obs {
         }
     }
 
-    /// Appends an event stamped with the current virtual clock.
-    pub fn event(&self, kind: &str, fields: &[(&str, Field)]) {
+    /// Appends an event stamped with the current virtual clock. Kind and
+    /// keys are `&'static str` — instrumentation sites name them with
+    /// literals, so recording allocates at most the payload vector, and
+    /// (once the ring is at capacity) nothing at all: the push recycles
+    /// the evicted event's allocation.
+    pub fn event(&self, kind: &'static str, fields: &[(&'static str, Field)]) {
         if let Some(mut g) = self.lock() {
             let t = g.now;
-            g.events.push(Event {
-                t,
-                kind: kind.to_string(),
-                fields: fields
-                    .iter()
-                    .map(|(k, v)| (k.to_string(), v.clone()))
-                    .collect(),
-            });
+            g.events.push_borrowed(t, kind, fields);
         }
     }
 
@@ -356,6 +353,21 @@ impl ObsBatch<'_> {
         self.add(name, 1);
     }
 
+    /// Adds `delta` to a counter through a caller-held [`CounterSlot`]
+    /// memo — the per-request flush primitive for fixed counter rosters:
+    /// after the first resolution the bump is an epoch compare plus an
+    /// array add, no string hashing (see [`Registry::add_cached`]).
+    #[inline]
+    pub fn add_cached(&mut self, slot: &mut CounterSlot, name: &str, delta: u64) {
+        self.inner.registry.add_cached(slot, name, delta);
+    }
+
+    /// Increments a counter by one through a [`CounterSlot`] memo.
+    #[inline]
+    pub fn incr_cached(&mut self, slot: &mut CounterSlot, name: &str) {
+        self.add_cached(slot, name, 1);
+    }
+
     /// Sets a gauge.
     pub fn set_gauge(&mut self, name: &str, value: i64) {
         self.inner.registry.set_gauge(name, value);
@@ -366,17 +378,12 @@ impl ObsBatch<'_> {
         self.inner.registry.observe(name, value);
     }
 
-    /// Appends an event stamped with the current virtual clock.
-    pub fn event(&mut self, kind: &str, fields: &[(&str, Field)]) {
+    /// Appends an event stamped with the current virtual clock. Like
+    /// [`Obs::event`], recycles the evicted event's allocation once the
+    /// ring is at capacity.
+    pub fn event(&mut self, kind: &'static str, fields: &[(&'static str, Field)]) {
         let t = self.inner.now;
-        self.inner.events.push(Event {
-            t,
-            kind: kind.to_string(),
-            fields: fields
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.clone()))
-                .collect(),
-        });
+        self.inner.events.push_borrowed(t, kind, fields);
     }
 }
 
@@ -401,15 +408,15 @@ impl Drop for Span {
         };
         let t = g.now;
         g.registry.add(&format!("{}.calls", state.name), 1);
-        let mut fields = vec![("name".to_string(), Field::s(state.name.clone()))];
+        let mut fields = vec![("name", Field::s(state.name.clone()))];
         if let Some(start) = state.wall {
             let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             g.registry.observe(&format!("{}.wall_ns", state.name), ns);
-            fields.push(("wall_ns".to_string(), Field::u(ns)));
+            fields.push(("wall_ns", Field::u(ns)));
         }
         g.events.push(Event {
             t,
-            kind: "span".to_string(),
+            kind: "span",
             fields,
         });
     }

@@ -1,21 +1,105 @@
 //! Named counters, gauges, and exact histograms.
 //!
-//! Keys are plain strings; all maps are `BTreeMap`s so every rendered
-//! snapshot is deterministically ordered. Histograms keep the raw sample
-//! vector — the workloads this crate instruments record at most one
-//! sample per simulated job, so exact nearest-rank quantiles are cheap
-//! and sketch-free (the same trade [`fbc-sim`'s `LatencyStats`] makes).
+//! Keys are plain strings. Metrics live in `HashMap`s with a cheap
+//! multiply-rotate hasher ([`FxStrHasher`], hand-rolled so the crate
+//! stays zero-dependency) — counter bumps on the per-request flush path
+//! were dominated by SipHash plus `BTreeMap` pointer walks. Determinism
+//! is unaffected: no map's iteration order is ever observed —
+//! [`Registry::render_table`] sorts its keys before rendering, and
+//! [`Registry::merge`] folds entries with commutative per-key updates.
+//! Histograms keep the raw sample vector — the workloads this crate
+//! instruments record at most one sample per simulated job, so exact
+//! nearest-rank quantiles are cheap and sketch-free (the same trade
+//! [`fbc-sim`'s `LatencyStats`] makes).
 
 use crate::quantile::nearest_rank;
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A fast, non-cryptographic string hasher in the FxHash family:
+/// rotate-xor-multiply per 8-byte chunk. Metric names are short
+/// program-chosen literals (no untrusted keys, so HashDoS is a
+/// non-concern), and hashing them must not dominate the counter bump
+/// they key.
+#[derive(Default)]
+pub struct FxStrHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxStrHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let w = u64::from_le_bytes(c.try_into().unwrap());
+            self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(SEED);
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder() {
+            tail = (tail << 8) | b as u64;
+        }
+        self.hash = (self.hash.rotate_left(5) ^ tail).wrapping_mul(SEED);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxMap<V> = HashMap<String, V, BuildHasherDefault<FxStrHasher>>;
+
+/// Source of registry epochs: every fresh registry (and every
+/// [`Registry::clear`]) draws a new value, so a [`CounterSlot`] cached
+/// against one registry generation can never silently hit in another —
+/// not even in a different registry instance.
+static EPOCH: AtomicU32 = AtomicU32::new(1);
+
+fn next_epoch() -> u32 {
+    EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A memoized counter resolution for [`Registry::add_cached`]: the slot
+/// index of a counter name, stamped with the registry generation it was
+/// resolved against. The [`Default`] (epoch 0, never issued) is the
+/// unresolved state. Callers on per-request hot paths keep one slot per
+/// fixed counter name; the steady-state bump is then one epoch compare
+/// and one array add instead of a string hash plus map probe.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CounterSlot {
+    epoch: u32,
+    idx: u32,
+}
 
 /// A registry of named metrics. Plain data; thread safety is provided by
 /// the owning [`crate::Obs`] handle.
-#[derive(Debug, Clone, Default)]
+///
+/// Counters live in a slot vector behind a name→slot index so that
+/// [`CounterSlot`]-cached bumps skip the string path entirely; a counter
+/// entry exists (and renders) only once it has actually been bumped,
+/// exactly as with the plain map this replaces.
+#[derive(Debug, Clone)]
 pub struct Registry {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, i64>,
-    histograms: BTreeMap<String, Vec<u64>>,
+    counters: FxMap<u32>,
+    counter_vals: Vec<u64>,
+    epoch: u32,
+    gauges: FxMap<i64>,
+    histograms: FxMap<Vec<u64>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self {
+            counters: FxMap::default(),
+            counter_vals: Vec::new(),
+            epoch: next_epoch(),
+            gauges: FxMap::default(),
+            histograms: FxMap::default(),
+        }
+    }
 }
 
 impl Registry {
@@ -24,13 +108,39 @@ impl Registry {
         Self::default()
     }
 
+    /// Slot of `name`, interning it at zero if new.
+    fn counter_slot(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.counters.get(name) {
+            i
+        } else {
+            let i = self.counter_vals.len() as u32;
+            self.counters.insert(name.to_string(), i);
+            self.counter_vals.push(0);
+            i
+        }
+    }
+
     /// Adds `delta` to the named counter (creating it at zero).
     pub fn add(&mut self, name: &str, delta: u64) {
-        if let Some(c) = self.counters.get_mut(name) {
-            *c += delta;
-        } else {
-            self.counters.insert(name.to_string(), delta);
+        let i = self.counter_slot(name);
+        self.counter_vals[i as usize] += delta;
+    }
+
+    /// Adds `delta` to the named counter through a memoized resolution:
+    /// when `slot` was resolved against this registry generation the bump
+    /// touches no string at all; otherwise the string path runs once and
+    /// refreshes `slot`. Slots survive [`Clone`] (the clone shares the
+    /// generation and the slot layout) and go stale — safely, via the
+    /// epoch check — on [`clear`](Self::clear) or when the caller is
+    /// re-pointed at a different registry.
+    pub fn add_cached(&mut self, slot: &mut CounterSlot, name: &str, delta: u64) {
+        if slot.epoch != self.epoch {
+            *slot = CounterSlot {
+                epoch: self.epoch,
+                idx: self.counter_slot(name),
+            };
         }
+        self.counter_vals[slot.idx as usize] += delta;
     }
 
     /// Sets the named gauge to `value`.
@@ -53,7 +163,9 @@ impl Registry {
 
     /// Current value of a counter (0 when never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counters
+            .get(name)
+            .map_or(0, |&i| self.counter_vals[i as usize])
     }
 
     /// Current value of a gauge (0 when never set).
@@ -82,9 +194,11 @@ impl Registry {
     /// concatenate (in `other`'s recording order), and gauges take
     /// `other`'s last-written value — the same last-write-wins a single
     /// sink would have seen had `other`'s writes happened after this one's.
+    /// Per-key updates are independent, so the maps' visit order is
+    /// immaterial.
     pub fn merge(&mut self, other: &Registry) {
-        for (name, &v) in &other.counters {
-            self.add(name, v);
+        for (name, &i) in &other.counters {
+            self.add(name, other.counter_vals[i as usize]);
         }
         for (name, &v) in &other.gauges {
             self.set_gauge(name, v);
@@ -98,29 +212,34 @@ impl Registry {
         }
     }
 
-    /// Clears every metric.
+    /// Clears every metric. Outstanding [`CounterSlot`]s go stale (the
+    /// generation advances) and re-resolve on their next bump.
     pub fn clear(&mut self) {
         self.counters.clear();
+        self.counter_vals.clear();
+        self.epoch = next_epoch();
         self.gauges.clear();
         self.histograms.clear();
     }
 
     /// Renders the registry as a fixed-width two-column table: counters,
-    /// then gauges, then histogram summaries (count / p50 / p95 / max).
-    /// A pure function of the recorded values, so two identical runs
-    /// render byte-identical tables.
+    /// then gauges, then histogram summaries (count / p50 / p95 / max),
+    /// each section in sorted key order. A pure function of the recorded
+    /// values, so two identical runs render byte-identical tables.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         if self.is_empty() {
             out.push_str("(no metrics recorded)\n");
             return out;
         }
-        let width = self
-            .counters
-            .keys()
-            .chain(self.gauges.keys())
-            .chain(self.histograms.keys())
-            .map(String::len)
+        let counters = sorted_keys(&self.counters);
+        let gauges = sorted_keys(&self.gauges);
+        let histograms = sorted_keys(&self.histograms);
+        let width = counters
+            .iter()
+            .chain(gauges.iter())
+            .chain(histograms.iter())
+            .map(|k| k.len())
             .max()
             .unwrap_or(0)
             .max("metric".len());
@@ -130,14 +249,16 @@ impl Registry {
             "-".repeat(width),
             "-".repeat(16)
         ));
-        for (name, v) in &self.counters {
+        for name in &counters {
+            let v = self.counter_vals[self.counters[*name] as usize];
             out.push_str(&format!("{name:<width$}  {v:>16}\n"));
         }
-        for (name, v) in &self.gauges {
+        for name in &gauges {
+            let v = self.gauges[*name];
             out.push_str(&format!("{name:<width$}  {v:>16}\n"));
         }
-        for (name, samples) in &self.histograms {
-            let mut sorted = samples.clone();
+        for name in &histograms {
+            let mut sorted = self.histograms[*name].clone();
             sorted.sort_unstable();
             let summary = format!(
                 "n={} p50={} p95={} max={}",
@@ -152,6 +273,14 @@ impl Registry {
     }
 }
 
+/// Keys of `map`, sorted — the only place map contents are enumerated for
+/// output.
+fn sorted_keys<V>(map: &FxMap<V>) -> Vec<&String> {
+    let mut keys: Vec<&String> = map.keys().collect();
+    keys.sort_unstable();
+    keys
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +292,48 @@ mod tests {
         r.add("x", 2);
         r.add("x", 3);
         assert_eq!(r.counter("x"), 5);
+    }
+
+    #[test]
+    fn cached_slots_match_the_string_path() {
+        let mut r = Registry::new();
+        let mut slot = CounterSlot::default();
+        r.add("x", 1);
+        r.add_cached(&mut slot, "x", 2);
+        r.add_cached(&mut slot, "x", 3);
+        assert_eq!(r.counter("x"), 6);
+        // A slot resolved against one registry must not hit in another —
+        // same name, different generation, fresh interning.
+        let mut other = Registry::new();
+        other.add("decoy", 9);
+        other.add_cached(&mut slot, "x", 5);
+        assert_eq!(other.counter("x"), 5);
+        assert_eq!(other.counter("decoy"), 9);
+        assert_eq!(r.counter("x"), 6);
+        // clear() advances the generation: the slot re-resolves instead of
+        // resurrecting the dropped entry's index.
+        other.clear();
+        assert!(other.is_empty());
+        other.add("first", 1);
+        other.add_cached(&mut slot, "x", 7);
+        assert_eq!(other.counter("x"), 7);
+        assert_eq!(other.counter("first"), 1);
+    }
+
+    #[test]
+    fn cached_slots_stay_valid_across_clone_and_merge() {
+        let mut r = Registry::new();
+        let mut slot = CounterSlot::default();
+        r.add_cached(&mut slot, "c", 1);
+        let mut clone = r.clone();
+        // The clone shares generation and layout, so the same slot keeps
+        // addressing the same counter in both.
+        clone.add_cached(&mut slot, "c", 10);
+        r.add_cached(&mut slot, "c", 100);
+        assert_eq!(r.counter("c"), 101);
+        assert_eq!(clone.counter("c"), 11);
+        r.merge(&clone);
+        assert_eq!(r.counter("c"), 112);
     }
 
     #[test]
@@ -201,6 +372,45 @@ mod tests {
         let zeta = a.find("zeta").unwrap();
         assert!(alpha < zeta, "counters must render in sorted order");
         assert!(a.contains("n=1 p50=10"));
+    }
+
+    #[test]
+    fn table_sorts_many_keys_in_every_section() {
+        // Insertion order deliberately scrambled; HashMap visit order must
+        // never leak into the rendering.
+        let mut r = Registry::new();
+        for name in ["m.07", "m.03", "m.09", "m.01", "m.05", "m.00"] {
+            r.add(name, 1);
+        }
+        for name in ["g.2", "g.0", "g.1"] {
+            r.set_gauge(name, 0);
+        }
+        let table = r.render_table();
+        let positions: Vec<usize> = [
+            "m.00", "m.01", "m.03", "m.05", "m.07", "m.09", "g.0", "g.1", "g.2",
+        ]
+        .iter()
+        .map(|n| table.find(*n).unwrap())
+        .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn str_hasher_distinguishes_chunk_boundaries() {
+        fn h(s: &str) -> u64 {
+            let mut hasher = FxStrHasher::default();
+            hasher.write(s.as_bytes());
+            hasher.finish()
+        }
+        // Short, 8-byte and straddling keys all hash distinctly, and the
+        // hash is a pure function of the bytes.
+        let keys = ["", "a", "decision", "decision.calls", "decision.calls2"];
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate() {
+                assert_eq!(h(a) == h(b), i == j, "{a:?} vs {b:?}");
+            }
+        }
+        assert_eq!(h("queue.batches"), h("queue.batches"));
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub fn run_hybrid(
     );
     policy.prepare(&trace.requests);
     let catalog = &trace.catalog;
-    let mut cache = CacheState::new(run.cache_size);
+    let mut cache = CacheState::with_catalog(run.cache_size, catalog);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = HybridMetrics::default();
 

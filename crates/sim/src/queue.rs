@@ -103,7 +103,7 @@ pub fn run_queued_observed(
     }
     policy.prepare(&trace.requests);
     let catalog = &trace.catalog;
-    let mut cache = CacheState::new(run.cache_size);
+    let mut cache = CacheState::with_catalog(run.cache_size, catalog);
     let mut metrics = match run.series_window {
         Some(w) => Metrics::with_series_window(w),
         None => Metrics::new(),
@@ -121,6 +121,12 @@ pub fn run_queued_observed(
     // per-job loop by contract, so metrics cannot diverge.
     let batched = !obs.is_enabled() && !run.record_latency;
     let mut batch_out: Vec<RequestOutcome> = Vec::new();
+    // Scratch for the batched drain: reused across batches so the steady
+    // state allocates nothing per drain. Holds borrows of `trace.requests`
+    // (stable for the whole run) rather than of the refilled `pending`
+    // queue; entry `pending[idx]` is `(i, trace.requests[i].clone())`, so
+    // the two are the same bundle.
+    let mut batch_refs: Vec<&Bundle> = Vec::new();
     let mut input = trace
         .requests
         .iter()
@@ -147,10 +153,15 @@ pub fn run_queued_observed(
         let order = drain_order(queue.discipline, &mut ranking_history, &pending, catalog);
         debug_assert_eq!(order.len(), pending.len());
         if batched {
-            let batch: Vec<&Bundle> = order.iter().map(|&idx| &pending[idx].1).collect();
+            batch_refs.clear();
+            batch_refs.extend(
+                order
+                    .iter()
+                    .map(|&idx| &trace.requests[pending[idx].0 as usize]),
+            );
             batch_out.clear();
-            policy.handle_batch(&batch, &mut cache, catalog, &mut batch_out);
-            debug_assert_eq!(batch_out.len(), batch.len());
+            policy.handle_batch(&batch_refs, &mut cache, catalog, &mut batch_out);
+            debug_assert_eq!(batch_out.len(), batch_refs.len());
             debug_assert!(cache.check_invariants());
             for outcome in &batch_out {
                 if processed >= run.warmup_jobs {

@@ -108,7 +108,7 @@ pub fn run_jobs_observed(
         policy.attach_obs(obs.clone());
     }
     policy.prepare(jobs);
-    let mut cache = CacheState::new(cfg.cache_size);
+    let mut cache = CacheState::with_catalog(cfg.cache_size, catalog);
     let mut metrics = match cfg.series_window {
         Some(w) => Metrics::with_series_window(w),
         None => Metrics::new(),
